@@ -1,0 +1,176 @@
+// devigo-bench regenerates the paper's evaluation: every strong-scaling
+// table and figure (Tables III-XXXIV, Figures 8-11 and 13-20), the weak
+// scaling runtime figures (12, 21-24), the single-node roofline (Fig. 7)
+// and the automated mode-selection ablation.
+//
+// Examples:
+//
+//	devigo-bench -exp strong -model acoustic -arch cpu -so 8     # Fig. 8a / Table IV
+//	devigo-bench -exp strong -model tti -arch gpu -so 16         # Fig. 19d / Table XXX
+//	devigo-bench -exp weak -so 8                                 # Fig. 12
+//	devigo-bench -exp roofline                                   # Fig. 7
+//	devigo-bench -exp selectmode                                 # mode-tuner ablation
+//	devigo-bench -exp all                                        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"devigo/internal/halo"
+	"devigo/internal/perfmodel"
+)
+
+func main() {
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|all")
+	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
+	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
+	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
+	flag.Parse()
+
+	sos, err := parseSOs(*soFlag)
+	if err != nil {
+		fatal(err)
+	}
+	models := []string{*model}
+	if *model == "all" {
+		models = []string{"acoustic", "elastic", "tti", "viscoelastic"}
+	}
+	var machines []perfmodel.Machine
+	switch *arch {
+	case "cpu":
+		machines = []perfmodel.Machine{perfmodel.Archer2Node()}
+	case "gpu":
+		machines = []perfmodel.Machine{perfmodel.TursaA100()}
+	case "all":
+		machines = []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
+	default:
+		fatal(fmt.Errorf("unknown arch %q", *arch))
+	}
+
+	switch *exp {
+	case "strong":
+		runStrong(models, sos, machines)
+	case "weak":
+		runWeak(models, sos, machines)
+	case "roofline":
+		runRoofline(sos)
+	case "selectmode":
+		runSelectMode(sos)
+	case "all":
+		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
+		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
+		runRoofline([]int{8})
+		runStrong(all, sos, both)
+		runWeak(all, sos, both)
+		runSelectMode([]int{8})
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func runStrong(models []string, sos []int, machines []perfmodel.Machine) {
+	for _, m := range machines {
+		for _, model := range models {
+			for _, so := range sos {
+				tbl, err := perfmodel.StrongScaling(model, so, m)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(tbl.Format())
+			}
+		}
+	}
+}
+
+func runWeak(models []string, sos []int, machines []perfmodel.Machine) {
+	for _, so := range sos {
+		fmt.Printf("MPI-X weak scaling runtime (seconds), so-%02d (paper Fig. 12/21-24)\n", so)
+		fmt.Printf("%-18s", "series/nodes")
+		for _, n := range perfmodel.PaperNodeCounts {
+			fmt.Printf("%8d", n)
+		}
+		fmt.Println()
+		for _, m := range machines {
+			modes := []halo.Mode{halo.ModeBasic, halo.ModeFull, halo.ModeDiagonal}
+			if m.GPUOnlyBasic {
+				modes = modes[:1]
+			}
+			for _, model := range models {
+				for _, mode := range modes {
+					pts, err := perfmodel.WeakScaling(model, so, m, mode)
+					if err != nil {
+						fatal(err)
+					}
+					label := fmt.Sprintf("%s-%s", shortName(model), mode)
+					if m.GPUOnlyBasic {
+						label += "[GPU]"
+					}
+					fmt.Printf("%-18s", label)
+					for _, p := range pts {
+						fmt.Printf("%8.2f", p.Runtime)
+					}
+					fmt.Println()
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func shortName(model string) string {
+	switch model {
+	case "acoustic":
+		return "Ac"
+	case "elastic":
+		return "El"
+	case "tti":
+		return "TTI"
+	case "viscoelastic":
+		return "VEl"
+	}
+	return model
+}
+
+func runRoofline(sos []int) {
+	for _, so := range sos {
+		s, err := perfmodel.RooflineReport(so)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func runSelectMode(sos []int) {
+	for _, so := range sos {
+		s, err := perfmodel.ModeSelectionReport(so)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func parseSOs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad space order %q", part)
+		}
+		if v%2 != 0 || v < 2 || v > 16 {
+			return nil, fmt.Errorf("space order %d unsupported", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "devigo-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Acoustic runs the paper's flagship workload: a 3-D isotropic acoustic
+// wave propagator with a Ricker point source and a receiver line, first
+// serially and then distributed over 8 ranks with each communication
+// pattern, verifying that every pattern reproduces the serial wavefield
+// checksum exactly (the zero-code-change DMP guarantee).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/propagators"
+)
+
+const (
+	shapeEdge = 36
+	so        = 4
+	nt        = 40
+)
+
+func config() propagators.Config {
+	return propagators.Config{
+		Shape:      []int{shapeEdge, shapeEdge, shapeEdge},
+		SpaceOrder: so,
+		NBL:        6,
+		Velocity:   1.5,
+	}
+}
+
+func main() {
+	m, err := propagators.Acoustic(config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isotropic acoustic: %d^3 grid, SDO %d, %d timesteps, dt=%.4f (CFL)\n",
+		shapeEdge, so, nt, m.CriticalDt)
+	res, err := propagators.Run(m, nil, propagators.RunConfig{NT: nt, NReceivers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial:       norm=%.6e  %6.1f Mpts/s  (flops/point=%d)\n",
+		res.Norm, res.Perf.GPtss()*1e3, res.Perf.FlopsPerPoint)
+	serialNorm := res.Norm
+
+	for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+		w := mpi.NewWorld(8)
+		var norm float64
+		err := w.Run(func(c *mpi.Comm) {
+			g := grid.MustNew(config().Shape, nil)
+			dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2, 2})
+			if err != nil {
+				panic(err)
+			}
+			cart, err := mpi.CartCreate(c, dec.Topology, nil)
+			if err != nil {
+				panic(err)
+			}
+			cfg := config()
+			cfg.Decomp = dec
+			cfg.Rank = c.Rank()
+			dm, err := propagators.Acoustic(cfg)
+			if err != nil {
+				panic(err)
+			}
+			ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+			dres, err := propagators.Run(dm, ctx, propagators.RunConfig{NT: nt, NReceivers: 8})
+			if err != nil {
+				panic(err)
+			}
+			if c.Rank() == 0 {
+				norm = dres.Norm
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The per-point arithmetic is bitwise identical; only the final
+		// norm reduction accumulates in rank order, so allow an LSB of
+		// float64 slack there.
+		match := "MATCHES serial"
+		if diff := norm - serialNorm; diff > 1e-12*serialNorm || diff < -1e-12*serialNorm {
+			match = fmt.Sprintf("DIFFERS from serial (%.6e)", serialNorm)
+		}
+		fmt.Printf("8 ranks %-6s norm=%.6e  %s\n", mode, norm, match)
+	}
+}

@@ -1,0 +1,44 @@
+// Scaling reproduces, in miniature, the paper's headline evaluation from
+// the performance model: strong scaling of the four wave kernels across
+// the three MPI modes on the CPU cluster, the CPU/GPU comparison, and the
+// automated mode selection the paper lists as future work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"devigo/internal/perfmodel"
+)
+
+func main() {
+	fmt.Println("== Single-node roofline (paper Fig. 7) ==")
+	s, err := perfmodel.RooflineReport(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
+
+	fmt.Println("== Strong scaling, CPU, SDO 8 (paper Figs. 8-11) ==")
+	for _, model := range []string{"acoustic", "elastic", "tti", "viscoelastic"} {
+		tbl, err := perfmodel.StrongScaling(model, 8, perfmodel.Archer2Node())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl.Format())
+	}
+
+	fmt.Println("== Strong scaling, GPU, SDO 8 (paper Figs. 8b-11b) ==")
+	tbl, err := perfmodel.StrongScaling("acoustic", 8, perfmodel.TursaA100())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl.Format())
+
+	fmt.Println("== Automated mode selection (paper future work) ==")
+	sel, err := perfmodel.ModeSelectionReport(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sel)
+}

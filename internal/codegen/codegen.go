@@ -1,0 +1,189 @@
+// Package codegen emits C-like source from an IET — the textual face of
+// the devigo compiler, mirroring the generated code of paper Listing 11.
+// The emitted text documents exactly what a C backend would compile; the
+// executable path (internal/runtime) executes the same schedule.
+package codegen
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"devigo/internal/iet"
+	"devigo/internal/ir"
+	"devigo/internal/symbolic"
+)
+
+// Emitter carries the layout facts codegen needs: halo widths per field
+// (for the access-alignment shift of paper Section III-d) and time buffer
+// counts (for the modulo time indices t0/t1).
+type Emitter struct {
+	// Halo maps field name -> per-dimension halo width.
+	Halo map[string][]int
+	// TimeBufs maps field name -> number of time buffers (0 for
+	// time-invariant parameters).
+	TimeBufs map[string]int
+}
+
+// EmitC renders the callable as C-like source.
+func (em *Emitter) EmitC(c iet.Callable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %s(...)\n{\n", c.Name)
+	em.emitList(&b, c.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (em *Emitter) emitList(b *strings.Builder, nodes []iet.Node, depth int) {
+	for _, n := range nodes {
+		em.emitNode(b, n, depth)
+	}
+}
+
+func (em *Emitter) emitNode(b *strings.Builder, n iet.Node, depth int) {
+	switch v := n.(type) {
+	case iet.ScalarAssign:
+		indent(b, depth)
+		fmt.Fprintf(b, "float %s = %s;\n", v.Name, em.expr(v.Value))
+	case iet.HaloSpot:
+		indent(b, depth)
+		fmt.Fprintf(b, "/* <HaloSpot(%s)> */\n", haloFieldList(v.Fields))
+	case iet.HaloUpdateCall:
+		indent(b, depth)
+		async := ""
+		if v.Async {
+			async = "_async"
+		}
+		fmt.Fprintf(b, "haloupdate%s_%s(%s);\n", async, v.Mode, haloFieldList(v.Fields))
+	case iet.HaloWaitCall:
+		indent(b, depth)
+		fmt.Fprintf(b, "halowait(%s);\n", haloFieldList(v.Fields))
+	case iet.TimeLoop:
+		indent(b, depth)
+		b.WriteString("for (int time = time_m; time <= time_M; time += 1)\n")
+		indent(b, depth)
+		b.WriteString("{\n")
+		em.emitList(b, v.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case iet.LoopNest:
+		em.emitNest(b, v, depth, "DOMAIN")
+	case iet.OverlapSection:
+		em.emitNode(b, v.Update, depth)
+		em.emitNest(b, v.Core, depth, "CORE")
+		em.emitNode(b, v.Wait, depth)
+		em.emitNest(b, v.Remainder, depth, "REMAINDER")
+	}
+}
+
+func (em *Emitter) emitNest(b *strings.Builder, nest iet.LoopNest, depth int, region string) {
+	d := depth
+	if region != "DOMAIN" {
+		indent(b, d)
+		fmt.Fprintf(b, "/* %s section */\n", region)
+	}
+	for i, dim := range nest.Dims {
+		indent(b, d)
+		fmt.Fprintf(b, "/* [%s] */ for (int %s = %s_m_%s; %s <= %s_M_%s; %s += 1)\n",
+			nest.Props[i], dim, dim, strings.ToLower(region), dim, dim, strings.ToLower(region), dim)
+		indent(b, d)
+		b.WriteString("{\n")
+		d++
+	}
+	for _, a := range nest.Assigns {
+		indent(b, d)
+		fmt.Fprintf(b, "float %s = %s;\n", a.Name, em.expr(a.Value))
+	}
+	for _, e := range nest.Exprs {
+		indent(b, d)
+		fmt.Fprintf(b, "%s = %s;\n", em.expr(e.LHS), em.expr(e.RHS))
+	}
+	for range nest.Dims {
+		d--
+		indent(b, d)
+		b.WriteString("}\n")
+	}
+}
+
+func haloFieldList(fs []ir.HaloReq) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.Field
+	}
+	return strings.Join(parts, ",")
+}
+
+// expr renders a symbolic expression as C.
+func (em *Emitter) expr(e symbolic.Expr) string {
+	switch v := e.(type) {
+	case symbolic.Num:
+		return cFloat(v.Val)
+	case symbolic.Sym:
+		return v.Name
+	case symbolic.Access:
+		return em.access(v)
+	case symbolic.Add:
+		parts := make([]string, len(v.Terms))
+		for i, t := range v.Terms {
+			parts[i] = em.expr(t)
+		}
+		return "(" + strings.Join(parts, " + ") + ")"
+	case symbolic.Mul:
+		parts := make([]string, len(v.Factors))
+		for i, f := range v.Factors {
+			parts[i] = em.expr(f)
+		}
+		return strings.Join(parts, "*")
+	case symbolic.Pow:
+		base := em.expr(v.Base)
+		if v.Exp < 0 {
+			return "1.0F/(" + strings.Repeat(base+"*", -v.Exp-1) + base + ")"
+		}
+		return "(" + strings.Repeat(base+"*", v.Exp-1) + base + ")"
+	case symbolic.Deriv:
+		return "/* unexpanded derivative */"
+	}
+	return "?"
+}
+
+// access renders an aligned array access: the halo shift of paper
+// Section III-d is applied here (u[t,x,y] -> u[t0][x+2][y+2]).
+func (em *Emitter) access(a symbolic.Access) string {
+	var b strings.Builder
+	b.WriteString(a.Fun.Name)
+	if a.Fun.IsTime {
+		fmt.Fprintf(&b, "[t%d]", ((a.TimeOff%a.Fun.NumBufs)+a.Fun.NumBufs)%a.Fun.NumBufs)
+	}
+	halo := em.Halo[a.Fun.Name]
+	names := []string{"x", "y", "z"}
+	for d, off := range a.Off {
+		shift := off
+		if d < len(halo) {
+			shift += halo[d]
+		}
+		switch {
+		case shift == 0:
+			fmt.Fprintf(&b, "[%s]", names[d])
+		case shift > 0:
+			fmt.Fprintf(&b, "[%s + %d]", names[d], shift)
+		default:
+			fmt.Fprintf(&b, "[%s - %d]", names[d], -shift)
+		}
+	}
+	return b.String()
+}
+
+// cFloat renders a rational as a C float literal.
+func cFloat(r *big.Rat) string {
+	if r.IsInt() {
+		return fmt.Sprintf("%s.0F", r.Num().String())
+	}
+	f, _ := r.Float64()
+	return fmt.Sprintf("%gF", f)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"devigo/internal/iet"
+	"devigo/internal/symbolic"
+)
+
+// FlopsPerPointOptimized counts the per-point flop cost of the *generated*
+// code: after invariant hoisting and CSE, summing the per-point scalar
+// assignments and update expressions of every loop nest. This is the
+// number Devito's compile-time operational-intensity estimate corresponds
+// to (paper Section IV-C).
+func (op *Operator) FlopsPerPointOptimized() int {
+	total := 0
+	iet.Walk(op.Tree, func(n iet.Node) {
+		nest, ok := n.(iet.LoopNest)
+		if !ok {
+			return
+		}
+		for _, a := range nest.Assigns {
+			total += symbolic.FlopCount(a.Value)
+		}
+		for _, e := range nest.Exprs {
+			total += symbolic.FlopCount(e.RHS) + 1
+		}
+	})
+	// Overlap sections duplicate the nest (CORE + REMAINDER); count once.
+	dups := 0
+	iet.Walk(op.Tree, func(n iet.Node) {
+		if _, ok := n.(iet.OverlapSection); ok {
+			dups++
+		}
+	})
+	if dups > 0 {
+		total /= 2
+	}
+	return total
+}
+
+// HaloStreamCount returns the number of per-timestep halo exchanges after
+// the drop/hoist/merge passes (the (field, timeOffset) pairs exchanged in
+// the steady state of the time loop).
+func (op *Operator) HaloStreamCount() int {
+	n := 0
+	for _, st := range op.Schedule.Steps {
+		n += len(st.Halos)
+	}
+	return n
+}
+
+// StreamCount returns the distinct (field, timeOffset) data streams the
+// operator touches per point per timestep — the modelled DRAM traffic is
+// 4 bytes per stream per point.
+func (op *Operator) StreamCount() int {
+	streams := map[string]bool{}
+	for _, st := range op.Schedule.Steps {
+		for _, e := range st.Cluster.Eqs {
+			lhs := e.LHS.(symbolic.Access)
+			streams[fmt.Sprintf("%s@%d", lhs.Fun.Name, lhs.TimeOff)] = true
+			for _, a := range symbolic.Accesses(e.RHS) {
+				streams[fmt.Sprintf("%s@%d", a.Fun.Name, a.TimeOff)] = true
+			}
+		}
+	}
+	return len(streams)
+}

@@ -1,0 +1,473 @@
+// Package core implements the devigo Operator: the compiler driver that
+// lowers symbolic equations through the Cluster and IET IRs, generates
+// C-like source, compiles executable kernels, and applies them over serial
+// or distributed (MPI) data with the selected halo-exchange pattern.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"devigo/internal/codegen"
+	"devigo/internal/field"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/iet"
+	"devigo/internal/ir"
+	"devigo/internal/mpi"
+	"devigo/internal/runtime"
+	"devigo/internal/symbolic"
+)
+
+// Context is the execution environment of an operator: serial (zero value
+// semantics via nil) or one rank of a distributed run.
+type Context struct {
+	Comm   *mpi.Comm
+	Cart   *mpi.CartComm
+	Decomp *grid.Decomposition
+	Mode   halo.Mode
+}
+
+// Serial reports whether the context runs without message passing.
+func (c *Context) Serial() bool {
+	return c == nil || c.Comm == nil || c.Comm.Size() == 1 || c.Mode == halo.ModeNone
+}
+
+// Operator is a compiled, applicable solver.
+type Operator struct {
+	Name   string
+	Grid   *grid.Grid
+	Fields map[string]*field.Function
+
+	Schedule *ir.Schedule
+	Tree     iet.Callable
+	CCode    string
+
+	ctx        *Context
+	kernels    []*runtime.Kernel
+	exchangers map[string]halo.Exchanger
+	execOpts   runtime.ExecOpts
+	// stepExt[i] is the box extension (points beyond DOMAIN per side) for
+	// step i: nonzero only for CIRE scratch clusters.
+	stepExt []int
+	// invariants are the hoisted loop-invariant scalars (r0 = 1/dt ...),
+	// evaluated once per Apply and bound like user symbols.
+	invariants []symbolic.Assignment
+
+	perf Perf
+}
+
+// Perf accumulates per-section timing, the devigo analogue of
+// DEVITO_LOGGING=BENCH output.
+type Perf struct {
+	ComputeSeconds float64
+	HaloSeconds    float64
+	PointsUpdated  int64
+	Timesteps      int
+	FlopsPerPoint  int
+}
+
+// GPtss returns the achieved throughput in gigapoints per second.
+func (p Perf) GPtss() float64 {
+	total := p.ComputeSeconds + p.HaloSeconds
+	if total <= 0 {
+		return 0
+	}
+	return float64(p.PointsUpdated) / total / 1e9
+}
+
+// Options tunes operator construction.
+type Options struct {
+	// Name labels the generated kernel (default "Kernel").
+	Name string
+	// Workers is the simulated thread count for loop execution.
+	Workers int
+	// TileRows controls progress granularity for overlap mode.
+	TileRows int
+}
+
+// NewOperator compiles equations against field storage. fields must hold
+// every function referenced. ctx may be nil for serial execution.
+func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.Grid, ctx *Context, opts *Options) (*Operator, error) {
+	name := "Kernel"
+	if opts != nil && opts.Name != "" {
+		name = opts.Name
+	}
+	nd := g.NDims()
+
+	// Flop reduction: materialise nested derivatives into scratch fields
+	// (CIRE). Scratch fields are computed redundantly over extended boxes,
+	// so their halo requirements are dropped below.
+	var decomp *grid.Decomposition
+	rank := 0
+	if ctx != nil && ctx.Decomp != nil {
+		decomp = ctx.Decomp
+		rank = ctx.Comm.Rank()
+	}
+	eqs, scratchExt, err := applyCIRE(eqs, fields, g, decomp, rank)
+	if err != nil {
+		return nil, err
+	}
+
+	clusters, err := ir.Lower(eqs, nd)
+	if err != nil {
+		return nil, err
+	}
+	// Adjust halo requirements around CIRE scratch clusters:
+	//   - scratch fields are never exchanged (recomputed redundantly in
+	//     the extension region instead);
+	//   - a cluster computing over an *extended* box effectively reads
+	//     every input beyond the domain, so even centred reads (the trig
+	//     parameter fields of TTI) need fresh halos there.
+	if len(scratchExt) > 0 {
+		for _, c := range clusters {
+			writesScratch := false
+			for fname := range c.Writes {
+				if _, ok := scratchExt[fname]; ok {
+					writesScratch = true
+				}
+			}
+			if writesScratch {
+				for _, e := range c.Eqs {
+					for _, a := range symbolic.Accesses(e.RHS) {
+						if _, isScratch := scratchExt[a.Fun.Name]; isScratch {
+							continue
+						}
+						m, ok := c.HaloReads[a.Fun.Name]
+						if !ok {
+							m = map[int]bool{}
+							c.HaloReads[a.Fun.Name] = m
+						}
+						m[a.TimeOff] = true
+					}
+				}
+			}
+			for fname := range c.HaloReads {
+				if _, isScratch := scratchExt[fname]; isScratch {
+					delete(c.HaloReads, fname)
+				}
+			}
+		}
+	}
+	isTime := func(fname string) bool {
+		f, ok := fields[fname]
+		return ok && len(f.Bufs) > 1
+	}
+	sched := ir.OptimizeSchedule(ir.BuildSchedule(clusters, nd, isTime), isTime)
+	mode := halo.ModeNone
+	if ctx != nil && !ctx.Serial() {
+		mode = ctx.Mode
+	}
+	tree := iet.LowerHalos(iet.Build(name, sched), mode)
+
+	op := &Operator{
+		Name:       name,
+		Grid:       g,
+		Fields:     fields,
+		Schedule:   sched,
+		Tree:       tree,
+		ctx:        ctx,
+		exchangers: map[string]halo.Exchanger{},
+	}
+	if opts != nil {
+		op.execOpts.Workers = opts.Workers
+		op.execOpts.TileRows = opts.TileRows
+	}
+	if op.execOpts.TileRows <= 0 {
+		op.execOpts.TileRows = 8
+	}
+
+	// Compile one kernel per cluster from the *optimized* IET form (CSE
+	// temporaries become per-point registers; hoisted invariants are
+	// evaluated once per Apply), recording the extended compute box of
+	// scratch-producing steps.
+	nests := collectNests(tree)
+	if len(nests) != len(sched.Steps) {
+		return nil, fmt.Errorf("core: internal: %d nests for %d steps", len(nests), len(sched.Steps))
+	}
+	for _, n := range tree.Body {
+		if sa, ok := n.(iet.ScalarAssign); ok {
+			op.invariants = append(op.invariants, symbolic.Assignment{Name: sa.Name, Value: sa.Value})
+		}
+	}
+	for i, st := range sched.Steps {
+		k, err := runtime.CompileNest(nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
+		if err != nil {
+			return nil, err
+		}
+		op.kernels = append(op.kernels, k)
+		op.perf.FlopsPerPoint += k.FlopsPerPoint()
+		ext := 0
+		for fname := range st.Cluster.Writes {
+			if e, ok := scratchExt[fname]; ok && e > ext {
+				ext = e
+			}
+		}
+		op.stepExt = append(op.stepExt, ext)
+	}
+
+	// Instantiate one exchanger per exchanged field.
+	if mode != halo.ModeNone {
+		stream := 0
+		addEx := func(reqs []ir.HaloReq) {
+			for _, h := range reqs {
+				if _, ok := op.exchangers[h.Field]; ok {
+					continue
+				}
+				f, ok := fields[h.Field]
+				if !ok {
+					continue
+				}
+				op.exchangers[h.Field] = halo.New(mode, ctx.Cart, f, stream)
+				stream++
+			}
+		}
+		addEx(sched.Preamble)
+		for _, st := range sched.Steps {
+			addEx(st.Halos)
+		}
+	}
+
+	// Emit the C-like source for inspection and golden tests.
+	em := &codegen.Emitter{Halo: map[string][]int{}, TimeBufs: map[string]int{}}
+	for n, f := range fields {
+		em.Halo[n] = f.Halo
+		em.TimeBufs[n] = len(f.Bufs)
+	}
+	op.CCode = em.EmitC(tree)
+	return op, nil
+}
+
+// ApplyOpts configures an operator application.
+type ApplyOpts struct {
+	// TimeM and TimeN are the inclusive logical timestep bounds (the
+	// update writing t+1 runs for t in [TimeM, TimeN]).
+	TimeM, TimeN int
+	// Syms binds scalar symbols (dt is mandatory for time-dependent
+	// kernels; spacings default from the grid).
+	Syms map[string]float64
+	// PostStep runs after each timestep's clusters (source injection,
+	// receiver interpolation).
+	PostStep func(t int)
+}
+
+// Apply runs the operator. It is deterministic: identical inputs produce
+// identical outputs for a fixed context/mode.
+func (op *Operator) Apply(a *ApplyOpts) error {
+	if a == nil {
+		a = &ApplyOpts{}
+	}
+	syms := map[string]float64{}
+	for d, name := range op.Grid.SpacingSymbols() {
+		syms[name] = op.Grid.Spacing(d)
+	}
+	for k, v := range a.Syms {
+		syms[k] = v
+	}
+	// Evaluate the hoisted invariants (in order, so later ones may use
+	// earlier ones) and bind them like user symbols.
+	for _, inv := range op.invariants {
+		v := symbolic.Eval(inv.Value, &symbolic.Env{Syms: syms})
+		if v != v { // NaN: an unbound symbol feeds this invariant
+			return fmt.Errorf("core: %s: invariant %s references an unbound symbol", op.Name, inv.Name)
+		}
+		syms[inv.Name] = v
+	}
+	bound := make([][]float64, len(op.kernels))
+	for i, k := range op.kernels {
+		b, err := k.BindSyms(syms)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", op.Name, err)
+		}
+		bound[i] = b
+	}
+
+	// Preamble: hoisted exchanges of time-invariant fields, once.
+	start := time.Now()
+	for _, h := range op.Schedule.Preamble {
+		if ex, ok := op.exchangers[h.Field]; ok {
+			ex.Exchange(0)
+		}
+	}
+	op.perf.HaloSeconds += time.Since(start).Seconds()
+
+	anyField := op.anyField()
+	if anyField == nil {
+		return fmt.Errorf("core: operator has no fields")
+	}
+	localShape := anyField.LocalShape
+
+	for t := a.TimeM; t <= a.TimeN; t++ {
+		for si, st := range op.Schedule.Steps {
+			k := op.kernels[si]
+			if op.useOverlap(si) && op.stepExt[si] == 0 {
+				op.applyOverlap(si, st, t, bound[si], localShape)
+			} else {
+				hs := time.Now()
+				for _, h := range st.Halos {
+					if ex, ok := op.exchangers[h.Field]; ok {
+						ex.Exchange(t + h.TimeOff)
+					}
+				}
+				op.perf.HaloSeconds += time.Since(hs).Seconds()
+				cs := time.Now()
+				box := extendedBox(localShape, op.stepExt[si])
+				k.Run(t, box, bound[si], &op.execOpts)
+				op.perf.ComputeSeconds += time.Since(cs).Seconds()
+				op.perf.PointsUpdated += int64(box.Size())
+			}
+		}
+		if a.PostStep != nil {
+			a.PostStep(t)
+		}
+		op.perf.Timesteps++
+	}
+	return nil
+}
+
+// useOverlap reports whether step si runs under the full pattern.
+func (op *Operator) useOverlap(si int) bool {
+	if op.ctx == nil || op.ctx.Serial() || op.ctx.Mode != halo.ModeFull {
+		return false
+	}
+	return len(op.Schedule.Steps[si].Halos) > 0
+}
+
+// applyOverlap executes one step in full mode: async exchange start, CORE
+// compute with MPI_Test progress prods, wait, REMAINDER compute.
+func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, localShape []int) {
+	k := op.kernels[si]
+	radius := k.Radius
+	hs := time.Now()
+	for _, h := range st.Halos {
+		if ex, ok := op.exchangers[h.Field]; ok {
+			ex.Start(t + h.TimeOff)
+		}
+	}
+	op.perf.HaloSeconds += time.Since(hs).Seconds()
+
+	core, remainder := splitCoreRemainder(localShape, radius)
+	progress := func() {
+		for _, h := range st.Halos {
+			if ex, ok := op.exchangers[h.Field]; ok {
+				ex.Progress()
+			}
+		}
+	}
+	cs := time.Now()
+	opts := op.execOpts
+	opts.Progress = progress
+	k.Run(t, core, syms, &opts)
+	op.perf.ComputeSeconds += time.Since(cs).Seconds()
+	op.perf.PointsUpdated += int64(core.Size())
+
+	ws := time.Now()
+	for _, h := range st.Halos {
+		if ex, ok := op.exchangers[h.Field]; ok {
+			ex.Finish(t + h.TimeOff)
+		}
+	}
+	op.perf.HaloSeconds += time.Since(ws).Seconds()
+
+	rs := time.Now()
+	for _, rb := range remainder {
+		k.Run(t, rb, syms, &op.execOpts)
+		op.perf.PointsUpdated += int64(rb.Size())
+	}
+	op.perf.ComputeSeconds += time.Since(rs).Seconds()
+}
+
+func (op *Operator) anyField() *field.Function {
+	for _, st := range op.Schedule.Steps {
+		for _, e := range st.Cluster.Eqs {
+			lhs := e.LHS.(symbolic.Access)
+			if f, ok := op.Fields[lhs.Fun.Name]; ok {
+				return f
+			}
+		}
+	}
+	for _, f := range op.Fields {
+		return f
+	}
+	return nil
+}
+
+// Report returns the accumulated performance counters.
+func (op *Operator) Report() Perf { return op.perf }
+
+// ResetPerf clears the performance counters.
+func (op *Operator) ResetPerf() { op.perf = Perf{FlopsPerPoint: op.perf.FlopsPerPoint} }
+
+// collectNests returns the loop nests of the time-loop body in step order,
+// looking through overlap sections (whose Core and Remainder share one
+// nest).
+func collectNests(tree iet.Callable) []iet.LoopNest {
+	var out []iet.LoopNest
+	for _, n := range tree.Body {
+		tl, ok := n.(iet.TimeLoop)
+		if !ok {
+			continue
+		}
+		for _, c := range tl.Body {
+			switch v := c.(type) {
+			case iet.LoopNest:
+				out = append(out, v)
+			case iet.OverlapSection:
+				out = append(out, v.Core)
+			}
+		}
+	}
+	return out
+}
+
+func fullBox(shape []int) runtime.Box {
+	b := runtime.Box{Lo: make([]int, len(shape)), Hi: make([]int, len(shape))}
+	copy(b.Hi, shape)
+	return b
+}
+
+// extendedBox widens the domain box by ext points per side — the redundant
+// computation region of CIRE scratch clusters.
+func extendedBox(shape []int, ext int) runtime.Box {
+	b := fullBox(shape)
+	if ext == 0 {
+		return b
+	}
+	for d := range b.Lo {
+		b.Lo[d] -= ext
+		b.Hi[d] += ext
+	}
+	return b
+}
+
+// splitCoreRemainder splits the local domain into the CORE box (points
+// whose stencil never reads exchanged halo data) and the REMAINDER slabs —
+// the logical decomposition of the paper's full mode (Fig. 5c).
+func splitCoreRemainder(shape, radius []int) (runtime.Box, []runtime.Box) {
+	nd := len(shape)
+	core := runtime.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		core.Lo[d] = radius[d]
+		core.Hi[d] = shape[d] - radius[d]
+		if core.Hi[d] < core.Lo[d] {
+			core.Hi[d] = core.Lo[d]
+		}
+	}
+	var rem []runtime.Box
+	box := fullBox(shape)
+	for d := 0; d < nd; d++ {
+		low := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
+		low.Hi[d] = core.Lo[d]
+		if !low.Empty() {
+			rem = append(rem, low)
+		}
+		high := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
+		high.Lo[d] = core.Hi[d]
+		if !high.Empty() {
+			rem = append(rem, high)
+		}
+		box.Lo[d] = core.Lo[d]
+		box.Hi[d] = core.Hi[d]
+	}
+	return core, rem
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"devigo/internal/ddata"
+	"devigo/internal/field"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/symbolic"
+)
+
+// buildDiffusionOp assembles the paper Listing 1 diffusion operator over
+// the provided (possibly distributed) storage.
+func buildDiffusionOp(t testing.TB, g *grid.Grid, u *field.TimeFunction, ctx *Context) *Operator {
+	t.Helper()
+	eq := symbolic.Eq{
+		LHS: symbolic.Dt(symbolic.At(u.Ref), 1),
+		RHS: symbolic.Laplace(symbolic.At(u.Ref), g.NDims(), u.SpaceOrder),
+	}
+	sol, err := symbolic.Solve(eq, symbolic.ForwardStencil(u.Ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewOperator(
+		[]symbolic.Eq{{LHS: symbolic.ForwardStencil(u.Ref), RHS: sol}},
+		map[string]*field.Function{"u": &u.Function}, g, ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestSerialDiffusionOneStep(t *testing.T) {
+	// Hand-verified ground truth for one explicit Euler step of
+	// u_t = laplace(u) on the paper's 4x4 grid with u[1:-1,1:-1] = 1.
+	g := grid.MustNew([]int{4, 4}, []float64{2, 2})
+	u, err := field.NewTimeFunction("u", g, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := ddata.New(&u.Function, nil, 0)
+	if err := arr.SetSlice(0, []ddata.Slice{ddata.SliceRange(1, -1), ddata.SliceRange(1, -1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	op := buildDiffusionOp(t, g, u, nil)
+	dx := 2.0 / 3.0
+	dt := 0.25 * dx * dx / 0.5
+	if err := op.Apply(&ApplyOpts{TimeM: 0, TimeN: 0, Syms: map[string]float64{"dt": dt}}); err != nil {
+		t.Fatal(err)
+	}
+	inv := 1 / (dx * dx)
+	lap := func(i, j int) float64 {
+		at := func(a, b int) float64 {
+			if a < 0 || a > 3 || b < 0 || b > 3 {
+				return 0
+			}
+			if a >= 1 && a <= 2 && b >= 1 && b <= 2 {
+				return 1
+			}
+			return 0
+		}
+		return inv * (at(i-1, j) + at(i+1, j) + at(i, j-1) + at(i, j+1) - 4*at(i, j))
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			old := 0.0
+			if i >= 1 && i <= 2 && j >= 1 && j <= 2 {
+				old = 1
+			}
+			want := old + dt*lap(i, j)
+			got := float64(u.AtDomain(1, i, j))
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDiffusionDecaysAndStaysFinite(t *testing.T) {
+	// Multi-step smoke test: max|u| decays monotonically for a stable dt.
+	g := grid.MustNew([]int{16, 16}, []float64{1, 1})
+	u, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	u.SetDomain(0, 1, 8, 8)
+	op := buildDiffusionOp(t, g, u, nil)
+	h := g.Spacing(0)
+	dt := 0.2 * h * h
+	prevMax := 1.0
+	for step := 0; step < 10; step++ {
+		if err := op.Apply(&ApplyOpts{TimeM: step, TimeN: step, Syms: map[string]float64{"dt": dt}}); err != nil {
+			t.Fatal(err)
+		}
+		mx := 0.0
+		for _, v := range u.Buf(step + 1).Data {
+			if m := math.Abs(float64(v)); m > mx {
+				mx = m
+			}
+		}
+		if mx > prevMax+1e-9 {
+			t.Fatalf("step %d: max grew %g -> %g", step, prevMax, mx)
+		}
+		prevMax = mx
+	}
+	if prevMax >= 1 || prevMax <= 0 {
+		t.Errorf("after 10 steps max = %g, expected decay into (0,1)", prevMax)
+	}
+}
+
+// runDistributedDiffusion runs nt steps on nranks with the given mode and
+// gathers the global result on rank 0.
+func runDistributedDiffusion(t testing.TB, shape []int, topo []int, mode halo.Mode, so, nt int) []float32 {
+	g := grid.MustNew(shape, nil)
+	nranks := 1
+	for _, v := range topo {
+		nranks *= v
+	}
+	w := mpi.NewWorld(nranks)
+	var result []float32
+	err := w.Run(func(c *mpi.Comm) {
+		dec, err := grid.NewDecomposition(g, c.Size(), topo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		u, err := field.NewTimeFunction("u", g, so, 1, &field.Config{Decomp: dec, Rank: c.Rank()})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		arr := ddata.New(&u.Function, dec, c.Rank())
+		// Deterministic initial condition as a function of global coords.
+		slices := make([]ddata.Slice, len(shape))
+		for d := range slices {
+			slices[d] = ddata.SliceAll()
+		}
+		_ = arr.SetFunc(0, slices, func(gc []int) float32 {
+			v := float32(1)
+			for _, x := range gc {
+				v *= float32(math.Sin(float64(x)*0.7) + 1.1)
+			}
+			return v
+		})
+		op := buildDiffusionOp(t, g, u, ctx)
+		dt := 0.1
+		if err := op.Apply(&ApplyOpts{TimeM: 0, TimeN: nt - 1, Syms: map[string]float64{"dt": dt}}); err != nil {
+			t.Error(err)
+			return
+		}
+		out := arr.Gather(c, 0, nt)
+		if c.Rank() == 0 {
+			result = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+func TestDMPEquivalence_Diffusion(t *testing.T) {
+	// The distributed result must be bitwise identical to the serial one
+	// for every mode: same per-point arithmetic, same order, only the data
+	// placement differs.
+	shape := []int{16, 16}
+	serial := runDistributedDiffusion(t, shape, []int{1, 1}, halo.ModeNone, 4, 5)
+	cases := []struct {
+		topo []int
+		mode halo.Mode
+	}{
+		{[]int{2, 1}, halo.ModeBasic},
+		{[]int{2, 2}, halo.ModeBasic},
+		{[]int{2, 2}, halo.ModeDiagonal},
+		{[]int{2, 2}, halo.ModeFull},
+		{[]int{4, 1}, halo.ModeDiagonal},
+		{[]int{1, 4}, halo.ModeFull},
+		{[]int{4, 2}, halo.ModeBasic},
+	}
+	for _, tc := range cases {
+		got := runDistributedDiffusion(t, shape, tc.topo, tc.mode, 4, 5)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("topo %v mode %v: first divergence at %d: %v != %v",
+					tc.topo, tc.mode, i, got[i], serial[i])
+				break
+			}
+		}
+	}
+}
+
+func TestDMPEquivalence_Diffusion3D(t *testing.T) {
+	shape := []int{10, 9, 8}
+	serial := runDistributedDiffusion(t, shape, []int{1, 1, 1}, halo.ModeNone, 2, 3)
+	for _, tc := range []struct {
+		topo []int
+		mode halo.Mode
+	}{
+		{[]int{2, 2, 2}, halo.ModeBasic},
+		{[]int{2, 2, 2}, halo.ModeDiagonal},
+		{[]int{2, 2, 2}, halo.ModeFull},
+		{[]int{2, 2, 1}, halo.ModeFull},
+	} {
+		got := runDistributedDiffusion(t, shape, tc.topo, tc.mode, 2, 3)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("topo %v mode %v: divergence at %d: %v != %v",
+					tc.topo, tc.mode, i, got[i], serial[i])
+				break
+			}
+		}
+	}
+}
+
+func TestListing3_RankLocalViews(t *testing.T) {
+	// The distributed apply of the Listing 1 operator: each rank's local
+	// view must equal the corresponding 2x2 block of the serial result.
+	g := grid.MustNew([]int{4, 4}, []float64{2, 2})
+	dx := 2.0 / 3.0
+	dt := 0.25 * dx * dx / 0.5
+
+	// Serial reference.
+	uS, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	arrS := ddata.New(&uS.Function, nil, 0)
+	_ = arrS.SetSlice(0, []ddata.Slice{ddata.SliceRange(1, -1), ddata.SliceRange(1, -1)}, 1)
+	opS := buildDiffusionOp(t, g, uS, nil)
+	if err := opS.Apply(&ApplyOpts{TimeM: 0, TimeN: 0, Syms: map[string]float64{"dt": dt}}); err != nil {
+		t.Fatal(err)
+	}
+
+	w := mpi.NewWorld(4)
+	err := w.Run(func(c *mpi.Comm) {
+		dec, _ := grid.NewDecomposition(g, 4, []int{2, 2})
+		cart, _ := mpi.CartCreate(c, dec.Topology, nil)
+		ctx := &Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeBasic}
+		u, _ := field.NewTimeFunction("u", g, 2, 1, &field.Config{Decomp: dec, Rank: c.Rank()})
+		arr := ddata.New(&u.Function, dec, c.Rank())
+		_ = arr.SetSlice(0, []ddata.Slice{ddata.SliceRange(1, -1), ddata.SliceRange(1, -1)}, 1)
+		op := buildDiffusionOp(t, g, u, ctx)
+		if err := op.Apply(&ApplyOpts{TimeM: 0, TimeN: 0, Syms: map[string]float64{"dt": dt}}); err != nil {
+			t.Error(err)
+			return
+		}
+		origin := dec.LocalOrigin(c.Rank())
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				want := uS.AtDomain(1, origin[0]+i, origin[1]+j)
+				got := u.AtDomain(1, i, j)
+				if got != want {
+					t.Errorf("rank %d local (%d,%d) = %v, want %v", c.Rank(), i, j, got, want)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedCodeShape(t *testing.T) {
+	// Listing 11 analogue: the emitted C for the diffusion operator must
+	// contain hoisted invariants, the time loop, aligned accesses and the
+	// update statement.
+	g := grid.MustNew([]int{4, 4}, []float64{2, 2})
+	u, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	op := buildDiffusionOp(t, g, u, nil)
+	code := op.CCode
+	for _, want := range []string{
+		"float r0 =",                   // hoisted invariant (1/h_x^2 style)
+		"for (int time = time_m",       // time loop
+		"u[t1][x + 2][y + 2] =",        // aligned store (halo 2 -> +2 shift)
+		"[affine,parallel,vector-dim]", // property annotations
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGeneratedCodeHaloCallsPerMode(t *testing.T) {
+	g := grid.MustNew([]int{8, 8}, nil)
+	for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeFull} {
+		w := mpi.NewWorld(4)
+		var code string
+		err := w.Run(func(c *mpi.Comm) {
+			dec, _ := grid.NewDecomposition(g, 4, []int{2, 2})
+			cart, _ := mpi.CartCreate(c, dec.Topology, nil)
+			ctx := &Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+			u, _ := field.NewTimeFunction("u", g, 2, 1, &field.Config{Decomp: dec, Rank: c.Rank()})
+			op := buildDiffusionOp(t, g, u, ctx)
+			if c.Rank() == 0 {
+				code = op.CCode
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch mode {
+		case halo.ModeBasic:
+			if !strings.Contains(code, "haloupdate_basic(u)") || !strings.Contains(code, "halowait(u)") {
+				t.Errorf("basic code missing halo calls:\n%s", code)
+			}
+		case halo.ModeFull:
+			if !strings.Contains(code, "haloupdate_async_full(u)") {
+				t.Errorf("full code missing async update:\n%s", code)
+			}
+			if !strings.Contains(code, "CORE") || !strings.Contains(code, "REMAINDER") {
+				t.Errorf("full code missing CORE/REMAINDER sections:\n%s", code)
+			}
+		}
+	}
+}
+
+func TestPerfReportCountsPoints(t *testing.T) {
+	g := grid.MustNew([]int{8, 8}, nil)
+	u, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	op := buildDiffusionOp(t, g, u, nil)
+	if err := op.Apply(&ApplyOpts{TimeM: 0, TimeN: 4, Syms: map[string]float64{"dt": 0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	p := op.Report()
+	if p.PointsUpdated != 5*64 {
+		t.Errorf("points updated = %d, want 320", p.PointsUpdated)
+	}
+	if p.Timesteps != 5 {
+		t.Errorf("timesteps = %d", p.Timesteps)
+	}
+	if p.FlopsPerPoint <= 0 {
+		t.Error("flops per point not recorded")
+	}
+	if p.GPtss() <= 0 {
+		t.Error("throughput not computed")
+	}
+}
+
+func TestSplitCoreRemainder(t *testing.T) {
+	core, rem := splitCoreRemainder([]int{10, 8}, []int{2, 2})
+	if core.Lo[0] != 2 || core.Hi[0] != 8 || core.Lo[1] != 2 || core.Hi[1] != 6 {
+		t.Errorf("core = %+v", core)
+	}
+	total := core.Size()
+	for _, r := range rem {
+		total += r.Size()
+	}
+	if total != 80 {
+		t.Errorf("core+remainder = %d, want 80", total)
+	}
+}
+
+func TestApplyMissingDtErrors(t *testing.T) {
+	g := grid.MustNew([]int{4, 4}, nil)
+	u, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	op := buildDiffusionOp(t, g, u, nil)
+	if err := op.Apply(&ApplyOpts{TimeM: 0, TimeN: 0}); err == nil {
+		t.Error("missing dt binding should error")
+	}
+}
+
+func TestPostStepHookRuns(t *testing.T) {
+	g := grid.MustNew([]int{4, 4}, nil)
+	u, _ := field.NewTimeFunction("u", g, 2, 1, nil)
+	op := buildDiffusionOp(t, g, u, nil)
+	var steps []int
+	err := op.Apply(&ApplyOpts{TimeM: 2, TimeN: 4, Syms: map[string]float64{"dt": 0.01},
+		PostStep: func(tt int) { steps = append(steps, tt) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 || steps[0] != 2 || steps[2] != 4 {
+		t.Errorf("post steps = %v", steps)
+	}
+}

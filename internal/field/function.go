@@ -1,0 +1,286 @@
+package field
+
+import (
+	"fmt"
+
+	"devigo/internal/grid"
+	"devigo/internal/symbolic"
+)
+
+// Function is a discrete function over the grid's space dimensions — a
+// parameter field like the squared slowness m. Its storage covers the local
+// domain plus a halo of width SpaceOrder/2 on each side (the read-only ghost
+// region in serial runs, the exchanged region under DMP).
+type Function struct {
+	Name       string
+	Grid       *grid.Grid
+	SpaceOrder int
+
+	// Halo is the ghost width per dimension per side.
+	Halo []int
+	// LocalShape is the owned (DOMAIN) shape: the full grid shape in a
+	// serial run or this rank's chunk under a decomposition.
+	LocalShape []int
+	// Origin is the global index of the first owned point per dimension.
+	Origin []int
+	// Bufs holds the time buffers; plain Functions have exactly one.
+	Bufs []*Buffer
+	// Ref is the symbolic handle used in equations.
+	Ref *symbolic.FuncRef
+	// Stagger marks half-node storage per dimension (0 or 1).
+	Stagger []int
+}
+
+// TimeFunction is a time-varying discrete function with TimeOrder+1
+// cyclic buffers (u[t-1], u[t], u[t+1] for second order).
+type TimeFunction struct {
+	Function
+	TimeOrder int
+}
+
+// Config bundles the optional knobs for constructing functions.
+type Config struct {
+	// Decomp distributes the function; nil means serial (whole grid local).
+	Decomp *grid.Decomposition
+	// Rank is the owning rank under Decomp.
+	Rank int
+	// Stagger requests half-node storage per dimension.
+	Stagger []int
+	// HaloWidth overrides the default SpaceOrder/2 ghost width.
+	HaloWidth int
+}
+
+// NewFunction creates a space-only function.
+func NewFunction(name string, g *grid.Grid, spaceOrder int, cfg *Config) (*Function, error) {
+	f := &Function{Name: name, Grid: g, SpaceOrder: spaceOrder}
+	if err := f.initGeometry(cfg); err != nil {
+		return nil, err
+	}
+	f.Bufs = []*Buffer{NewBuffer(f.FullShape())}
+	f.Ref = &symbolic.FuncRef{Name: name, NDims: g.NDims(), Stagger: f.Stagger}
+	return f, nil
+}
+
+// NewTimeFunction creates a time-varying function with timeOrder+1 buffers.
+func NewTimeFunction(name string, g *grid.Grid, spaceOrder, timeOrder int, cfg *Config) (*TimeFunction, error) {
+	if timeOrder < 1 || timeOrder > 2 {
+		return nil, fmt.Errorf("field: time order %d unsupported (want 1 or 2)", timeOrder)
+	}
+	tf := &TimeFunction{TimeOrder: timeOrder}
+	tf.Name = name
+	tf.Grid = g
+	tf.SpaceOrder = spaceOrder
+	if err := tf.initGeometry(cfg); err != nil {
+		return nil, err
+	}
+	nbufs := timeOrder + 1
+	tf.Bufs = make([]*Buffer, nbufs)
+	for i := range tf.Bufs {
+		tf.Bufs[i] = NewBuffer(tf.FullShape())
+	}
+	tf.Ref = &symbolic.FuncRef{Name: name, NDims: g.NDims(), IsTime: true, NumBufs: nbufs, Stagger: tf.Stagger}
+	return tf, nil
+}
+
+func (f *Function) initGeometry(cfg *Config) error {
+	nd := f.Grid.NDims()
+	// Devito convention (paper Section III-d): a function of space order k
+	// has a halo of size k per side, not k/2 — the extra width covers
+	// mixed/rotated derivatives whose footprint exceeds the plain
+	// Laplacian radius.
+	hw := f.SpaceOrder
+	if cfg != nil && cfg.HaloWidth > 0 {
+		hw = cfg.HaloWidth
+	}
+	f.Halo = make([]int, nd)
+	for d := range f.Halo {
+		f.Halo[d] = hw
+	}
+	f.Stagger = make([]int, nd)
+	if cfg != nil && cfg.Stagger != nil {
+		if len(cfg.Stagger) != nd {
+			return fmt.Errorf("field: stagger rank mismatch")
+		}
+		copy(f.Stagger, cfg.Stagger)
+	}
+	if cfg != nil && cfg.Decomp != nil {
+		f.LocalShape = cfg.Decomp.LocalShape(cfg.Rank)
+		f.Origin = cfg.Decomp.LocalOrigin(cfg.Rank)
+		// A halo wider than the smallest neighbouring chunk cannot be
+		// filled by nearest-neighbour exchange; reject the configuration
+		// (Devito errors likewise when the decomposition is too fine).
+		for d := 0; d < nd; d++ {
+			if cfg.Decomp.Topology[d] > 1 {
+				minChunk := f.Grid.Shape[d] / cfg.Decomp.Topology[d]
+				if hw > minChunk {
+					return fmt.Errorf("field: halo %d exceeds the smallest local extent %d along dim %d; use fewer ranks or a lower space order", hw, minChunk, d)
+				}
+			}
+		}
+	} else {
+		f.LocalShape = append([]int(nil), f.Grid.Shape...)
+		f.Origin = make([]int, nd)
+	}
+	return nil
+}
+
+// FullShape is the allocated shape: DOMAIN plus halo on both sides.
+func (f *Function) FullShape() []int {
+	out := make([]int, len(f.LocalShape))
+	for d := range out {
+		out[d] = f.LocalShape[d] + 2*f.Halo[d]
+	}
+	return out
+}
+
+// NDims returns the space dimensionality.
+func (f *Function) NDims() int { return f.Grid.NDims() }
+
+// Buf returns the time buffer for logical time index t (cyclic). Plain
+// functions ignore t.
+func (f *Function) Buf(t int) *Buffer {
+	n := len(f.Bufs)
+	if n == 1 {
+		return f.Bufs[0]
+	}
+	return f.Bufs[((t%n)+n)%n]
+}
+
+// DomainRegion is the writable owned box in buffer coordinates.
+func (f *Function) DomainRegion() Region {
+	nd := f.NDims()
+	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		r.Lo[d] = f.Halo[d]
+		r.Hi[d] = f.Halo[d] + f.LocalShape[d]
+	}
+	return r
+}
+
+// FullRegion covers the whole allocation including halos.
+func (f *Function) FullRegion() Region {
+	nd := f.NDims()
+	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
+	copy(r.Hi, f.FullShape())
+	return r
+}
+
+// CoreRegion is the part of DOMAIN whose stencil reads stay inside DOMAIN:
+// DOMAIN shrunk by the halo width on every side. It may be empty for tiny
+// local domains.
+func (f *Function) CoreRegion() Region {
+	r := f.DomainRegion()
+	for d := range r.Lo {
+		r.Lo[d] += f.Halo[d]
+		r.Hi[d] -= f.Halo[d]
+		if r.Hi[d] < r.Lo[d] {
+			r.Hi[d] = r.Lo[d]
+		}
+	}
+	return r
+}
+
+// OwnedRegions decomposes DOMAIN minus CORE into disjoint slabs — the
+// REMAINDER areas of the full pattern (faces and strips along decomposed
+// dimensions). The slabs are ordered deterministically.
+func (f *Function) OwnedRegions() []Region {
+	dom := f.DomainRegion()
+	core := f.CoreRegion()
+	if core.Empty() {
+		return []Region{dom}
+	}
+	var out []Region
+	// Peel the two outer slabs per dimension, shrinking the box as we go so
+	// slabs are disjoint.
+	box := dom.Clone()
+	for d := range box.Lo {
+		lowT := box.Clone()
+		lowT.Hi[d] = core.Lo[d]
+		if !lowT.Empty() {
+			out = append(out, lowT)
+		}
+		highT := box.Clone()
+		highT.Lo[d] = core.Hi[d]
+		if !highT.Empty() {
+			out = append(out, highT)
+		}
+		box.Lo[d] = core.Lo[d]
+		box.Hi[d] = core.Hi[d]
+	}
+	return out
+}
+
+// SendRegion returns the OWNED slab that must be shipped to the neighbour
+// at the given topology offset (entries in {-1,0,1}). Zero offsets span the
+// domain extent; includeHalo widens zero-offset dimensions to the full
+// allocated extent (used by the basic mode's dimension-sweep exchange).
+func (f *Function) SendRegion(offset []int, includeHalo []bool) Region {
+	nd := f.NDims()
+	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		h := f.Halo[d]
+		n := f.LocalShape[d]
+		switch offset[d] {
+		case 0:
+			if includeHalo != nil && includeHalo[d] {
+				r.Lo[d], r.Hi[d] = 0, n+2*h
+			} else {
+				r.Lo[d], r.Hi[d] = h, h+n
+			}
+		case 1:
+			r.Lo[d], r.Hi[d] = h+n-h, h+n
+		case -1:
+			r.Lo[d], r.Hi[d] = h, h+h
+		default:
+			panic("field: offset entries must be -1, 0 or 1")
+		}
+	}
+	return r
+}
+
+// RecvRegion returns the HALO slab populated by the neighbour at the given
+// offset.
+func (f *Function) RecvRegion(offset []int, includeHalo []bool) Region {
+	nd := f.NDims()
+	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		h := f.Halo[d]
+		n := f.LocalShape[d]
+		switch offset[d] {
+		case 0:
+			if includeHalo != nil && includeHalo[d] {
+				r.Lo[d], r.Hi[d] = 0, n+2*h
+			} else {
+				r.Lo[d], r.Hi[d] = h, h+n
+			}
+		case 1:
+			r.Lo[d], r.Hi[d] = h+n, h+n+h
+		case -1:
+			r.Lo[d], r.Hi[d] = 0, h
+		default:
+			panic("field: offset entries must be -1, 0 or 1")
+		}
+	}
+	return r
+}
+
+// SetDomain writes v at domain-relative coordinates (0-based within the
+// owned box) of time buffer t.
+func (f *Function) SetDomain(t int, v float32, idx ...int) {
+	buf := f.Buf(t)
+	shifted := make([]int, len(idx))
+	for d, i := range idx {
+		shifted[d] = i + f.Halo[d]
+	}
+	buf.Set(v, shifted...)
+}
+
+// AtDomain reads at domain-relative coordinates of time buffer t.
+func (f *Function) AtDomain(t int, idx ...int) float32 {
+	buf := f.Buf(t)
+	shifted := make([]int, len(idx))
+	for d, i := range idx {
+		shifted[d] = i + f.Halo[d]
+	}
+	return buf.At(shifted...)
+}

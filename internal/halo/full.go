@@ -1,0 +1,74 @@
+package halo
+
+import (
+	"devigo/internal/field"
+	"devigo/internal/mpi"
+)
+
+// fullExchanger implements the paper's full (overlap) pattern: the same
+// 26-message single-step set as diagonal, but asynchronous. Start posts all
+// receives and sends; the caller computes the CORE region while messages
+// are in flight, prodding the progress engine via Progress (the MPI_Test
+// calls the generated code inserts between loop-tiling blocks); Finish
+// waits for the remaining receives, unpacks the halos, after which the
+// caller computes the REMAINDER areas.
+type fullExchanger struct {
+	*diagonalExchanger
+	pending []*mpi.Request
+	started bool
+}
+
+func newFull(cart *mpi.CartComm, f *field.Function, stream int) *fullExchanger {
+	return &fullExchanger{diagonalExchanger: newDiagonal(cart, f, stream)}
+}
+
+func (e *fullExchanger) Mode() Mode { return ModeFull }
+
+func (e *fullExchanger) Start(t int) {
+	buf := e.f.Buf(t)
+	e.pending = make([]*mpi.Request, len(e.offsets))
+	for i, o := range e.offsets {
+		if e.nbrs[i] == mpi.ProcNull {
+			continue
+		}
+		e.pending[i] = e.cart.Irecv(e.nbrs[i], mpi.OffsetTag(e.stream, negate(o)), e.recvBuf[i])
+	}
+	for i, o := range e.offsets {
+		if e.nbrs[i] == mpi.ProcNull {
+			continue
+		}
+		buf.Pack(e.sendReg[i], e.sendBuf[i])
+		// Isend: buffered, completes immediately in this runtime but keeps
+		// the schedule shape of the generated code.
+		e.cart.Isend(e.nbrs[i], mpi.OffsetTag(e.stream, o), e.sendBuf[i])
+	}
+	e.started = true
+}
+
+func (e *fullExchanger) Progress() bool {
+	if !e.started {
+		return true
+	}
+	return mpi.Testall(e.pending)
+}
+
+func (e *fullExchanger) Finish(t int) {
+	if !e.started {
+		return
+	}
+	buf := e.f.Buf(t)
+	for i, r := range e.pending {
+		if r == nil {
+			continue
+		}
+		r.Wait()
+		buf.Unpack(e.recvReg[i], e.recvBuf[i])
+	}
+	e.pending = nil
+	e.started = false
+}
+
+func (e *fullExchanger) Exchange(t int) {
+	e.Start(t)
+	e.Finish(t)
+}

@@ -1,0 +1,115 @@
+// Package halo implements the paper's three distributed-memory
+// computation/communication patterns (Table I, Fig. 5):
+//
+//   - basic: synchronous multi-step face exchanges, 2 messages per
+//     dimension (6 in 3-D), exchange buffers allocated at call time;
+//   - diagonal: synchronous single-step exchange over the full
+//     {-1,0,1}^n neighbourhood (26 messages in 3-D), preallocated buffers;
+//   - full: asynchronous single-step exchange overlapped with CORE
+//     computation, with MPI_Test progress prods, then REMAINDER updates.
+//
+// Exchangers operate on one field over one Cartesian communicator; the
+// compiler instantiates one exchanger per (field, operator) pair.
+package halo
+
+import (
+	"fmt"
+
+	"devigo/internal/field"
+	"devigo/internal/mpi"
+)
+
+// Mode selects the communication pattern.
+type Mode int
+
+const (
+	// ModeNone disables exchanges (serial runs).
+	ModeNone Mode = iota
+	// ModeBasic is the blocking face-only multi-step pattern.
+	ModeBasic
+	// ModeDiagonal is the single-step 26-neighbour pattern.
+	ModeDiagonal
+	// ModeFull is the overlapped pattern (diagonal message set,
+	// asynchronous, CORE/REMAINDER split).
+	ModeFull
+)
+
+// String implements fmt.Stringer with the paper's names.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeBasic:
+		return "basic"
+	case ModeDiagonal:
+		return "diag"
+	case ModeFull:
+		return "full"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts the DEVITO_MPI-style names used by the CLI.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "none", "0":
+		return ModeNone, nil
+	case "basic", "1":
+		return ModeBasic, nil
+	case "diag", "diagonal", "diag2":
+		return ModeDiagonal, nil
+	case "full", "overlap":
+		return ModeFull, nil
+	}
+	return ModeNone, fmt.Errorf("halo: unknown MPI mode %q", s)
+}
+
+// Exchanger fills a field's halo region from its neighbours. Exchange is
+// the synchronous entry point; Start/Progress/Finish expose the split
+// protocol that the full pattern overlaps with computation (for the other
+// modes Start+Finish degenerate to Exchange).
+type Exchanger interface {
+	// Exchange synchronously updates the halo of time buffer t.
+	Exchange(t int)
+	// Start posts the sends/receives for time buffer t.
+	Start(t int)
+	// Progress prods the progress engine (MPI_Test) and reports whether
+	// all receives have completed.
+	Progress() bool
+	// Finish blocks until all receives completed and halos are unpacked.
+	Finish(t int)
+	// Mode identifies the pattern.
+	Mode() Mode
+}
+
+// New constructs the exchanger for the given mode. stream must be unique
+// per (field, operator) so concurrent exchanges cannot cross-match.
+func New(mode Mode, cart *mpi.CartComm, f *field.Function, stream int) Exchanger {
+	switch mode {
+	case ModeNone:
+		return nullExchanger{}
+	case ModeBasic:
+		return newBasic(cart, f, stream)
+	case ModeDiagonal:
+		return newDiagonal(cart, f, stream)
+	case ModeFull:
+		return newFull(cart, f, stream)
+	}
+	panic("halo: invalid mode")
+}
+
+type nullExchanger struct{}
+
+func (nullExchanger) Exchange(int)   {}
+func (nullExchanger) Start(int)      {}
+func (nullExchanger) Progress() bool { return true }
+func (nullExchanger) Finish(int)     {}
+func (nullExchanger) Mode() Mode     { return ModeNone }
+
+func negate(o []int) []int {
+	n := make([]int, len(o))
+	for i, v := range o {
+		n[i] = -v
+	}
+	return n
+}

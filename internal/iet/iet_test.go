@@ -1,0 +1,145 @@
+package iet
+
+import (
+	"testing"
+
+	"devigo/internal/halo"
+	"devigo/internal/ir"
+	"devigo/internal/symbolic"
+)
+
+func diffusionSchedule(t *testing.T) *ir.Schedule {
+	t.Helper()
+	u := &symbolic.FuncRef{Name: "u", NDims: 2, IsTime: true, NumBufs: 2}
+	eq := symbolic.Eq{LHS: symbolic.Dt(symbolic.At(u), 1), RHS: symbolic.Laplace(symbolic.At(u), 2, 2)}
+	sol, err := symbolic.Solve(eq, symbolic.ForwardStencil(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ir.Lower([]symbolic.Eq{{LHS: symbolic.ForwardStencil(u), RHS: sol}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isTime := func(string) bool { return true }
+	return ir.OptimizeSchedule(ir.BuildSchedule(clusters, 2, isTime), isTime)
+}
+
+func TestBuildHoistsInvariants(t *testing.T) {
+	tree := Build("Kernel", diffusionSchedule(t))
+	assigns := 0
+	for _, n := range tree.Body {
+		if _, ok := n.(ScalarAssign); ok {
+			assigns++
+		}
+	}
+	if assigns < 2 {
+		t.Errorf("expected hoisted scalar invariants (1/h_x^2 etc.), got %d", assigns)
+	}
+	// Exactly one time loop.
+	if CountNodes(tree, func(n Node) bool { _, ok := n.(TimeLoop); return ok }) != 1 {
+		t.Error("expected one time loop")
+	}
+	// A HaloSpot precedes the loop nest inside the time loop.
+	if CountNodes(tree, func(n Node) bool { _, ok := n.(HaloSpot); return ok }) != 1 {
+		t.Error("expected one HaloSpot")
+	}
+}
+
+func TestLowerHalosBasicProducesUpdateWaitPair(t *testing.T) {
+	tree := LowerHalos(Build("Kernel", diffusionSchedule(t)), halo.ModeBasic)
+	if CountNodes(tree, func(n Node) bool { _, ok := n.(HaloSpot); return ok }) != 0 {
+		t.Error("HaloSpots must be consumed by lowering")
+	}
+	ups := CountNodes(tree, func(n Node) bool { _, ok := n.(HaloUpdateCall); return ok })
+	waits := CountNodes(tree, func(n Node) bool { _, ok := n.(HaloWaitCall); return ok })
+	if ups != 1 || waits != 1 {
+		t.Errorf("basic lowering: %d updates, %d waits; want 1/1", ups, waits)
+	}
+}
+
+func TestLowerHalosFullFusesOverlapSection(t *testing.T) {
+	tree := LowerHalos(Build("Kernel", diffusionSchedule(t)), halo.ModeFull)
+	sections := CountNodes(tree, func(n Node) bool { _, ok := n.(OverlapSection); return ok })
+	if sections != 1 {
+		t.Fatalf("full lowering: %d overlap sections, want 1", sections)
+	}
+	// The plain nest must have been absorbed into the section.
+	loose := 0
+	Walk(tree, func(n Node) {
+		if tl, ok := n.(TimeLoop); ok {
+			for _, c := range tl.Body {
+				if _, isNest := c.(LoopNest); isNest {
+					loose++
+				}
+			}
+		}
+	})
+	if loose != 0 {
+		t.Errorf("%d loop nests left outside the overlap section", loose)
+	}
+}
+
+func TestLowerHalosNoneDropsSpots(t *testing.T) {
+	tree := LowerHalos(Build("Kernel", diffusionSchedule(t)), halo.ModeNone)
+	n := CountNodes(tree, func(n Node) bool {
+		switch n.(type) {
+		case HaloSpot, HaloUpdateCall, HaloWaitCall, OverlapSection:
+			return true
+		}
+		return false
+	})
+	if n != 0 {
+		t.Errorf("serial lowering left %d halo nodes", n)
+	}
+}
+
+func TestPropsAnnotateVectorDim(t *testing.T) {
+	tree := Build("Kernel", diffusionSchedule(t))
+	found := false
+	Walk(tree, func(n Node) {
+		nest, ok := n.(LoopNest)
+		if !ok {
+			return
+		}
+		if nest.Props[len(nest.Props)-1] != "affine,parallel,vector-dim" {
+			t.Errorf("innermost loop props = %v", nest.Props)
+		}
+		found = true
+	})
+	if !found {
+		t.Fatal("no loop nest in tree")
+	}
+}
+
+func TestBuildAppliesCSEPerCluster(t *testing.T) {
+	// A model with repeated subexpressions should produce per-point CSE
+	// temps in the nest.
+	// Two equations sharing a compound reciprocal (the solve denominator
+	// pattern of damped wave equations): factorisation pulls it to the
+	// front of each sum, CSE then shares it across the equations.
+	u := &symbolic.FuncRef{Name: "u", NDims: 1, IsTime: true, NumBufs: 2}
+	w := &symbolic.FuncRef{Name: "w", NDims: 1, IsTime: true, NumBufs: 2}
+	m := &symbolic.FuncRef{Name: "m", NDims: 1}
+	denom := symbolic.NewPow(symbolic.NewAdd(symbolic.At(m), symbolic.Int(1)), -1)
+	rhs1 := symbolic.NewMul(denom, symbolic.Shifted(u, 0, 1))
+	rhs2 := symbolic.NewMul(denom, symbolic.Shifted(w, 0, -1))
+	clusters, err := ir.Lower([]symbolic.Eq{
+		{LHS: symbolic.ForwardStencil(u), RHS: rhs1},
+		{LHS: symbolic.ForwardStencil(w), RHS: rhs2},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isTime := func(name string) bool { return name != "m" }
+	sched := ir.OptimizeSchedule(ir.BuildSchedule(clusters, 1, isTime), isTime)
+	tree := Build("Kernel", sched)
+	cseFound := false
+	Walk(tree, func(n Node) {
+		if nest, ok := n.(LoopNest); ok && len(nest.Assigns) > 0 {
+			cseFound = true
+		}
+	})
+	if !cseFound {
+		t.Error("expected per-point CSE temporaries in the loop nest")
+	}
+}

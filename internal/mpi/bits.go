@@ -1,0 +1,10 @@
+package mpi
+
+import "math"
+
+// Thin wrappers so collectives.go reads cleanly.
+
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+func float32bits(v float32) uint32     { return math.Float32bits(v) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,187 @@
+package mpi
+
+import "sync"
+
+// barrier is a reusable generation barrier for all ranks of a world.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Barrier blocks until every rank of the world has entered it.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// collTag returns a fresh tag in the reserved collective tag space. Every
+// rank executes collectives in the same order, so per-rank sequence numbers
+// agree across the communicator.
+const collTagBase = 1 << 30
+
+func (c *Comm) collTag() int {
+	t := collTagBase + c.collSeq
+	c.collSeq++
+	return t
+}
+
+// ReduceOp is a binary reduction operator.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	OpSum = func(a, b float64) float64 { return a + b }
+	OpMax = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce reduces vals elementwise across all ranks with op and returns
+// the result on every rank. Reduction happens in rank order on rank 0, so
+// the result is deterministic and identical everywhere.
+func (c *Comm) Allreduce(vals []float64, op ReduceOp) []float64 {
+	tag := c.collTag()
+	buf32 := make([]float32, 2*len(vals))
+	// float64 values are shipped as pairs of float32s would lose precision;
+	// instead pack the bits. A dedicated float64 channel would be cleaner,
+	// but the message substrate is float32: encode via two 32-bit halves.
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	if c.size == 1 {
+		return out
+	}
+	if c.rank == 0 {
+		tmp := make([]float64, len(vals))
+		for src := 1; src < c.size; src++ {
+			c.Recv(src, tag, buf32)
+			unpackFloat64(buf32, tmp)
+			for i := range out {
+				out[i] = op(out[i], tmp[i])
+			}
+		}
+		packFloat64(out, buf32)
+		for dst := 1; dst < c.size; dst++ {
+			c.Send(dst, tag, buf32)
+		}
+		return out
+	}
+	packFloat64(vals, buf32)
+	c.Send(0, tag, buf32)
+	c.Recv(0, tag, buf32)
+	unpackFloat64(buf32, out)
+	return out
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(v float64, op ReduceOp) float64 {
+	return c.Allreduce([]float64{v}, op)[0]
+}
+
+// Bcast broadcasts buf from root to all ranks.
+func (c *Comm) Bcast(root int, buf []float32) {
+	tag := c.collTag()
+	if c.size == 1 {
+		return
+	}
+	if c.rank == root {
+		for dst := 0; dst < c.size; dst++ {
+			if dst != root {
+				c.Send(dst, tag, buf)
+			}
+		}
+		return
+	}
+	c.Recv(root, tag, buf)
+}
+
+// Gather collects each rank's contribution on root; parts[r] receives rank
+// r's data (only meaningful on root, where parts must have size entries
+// with adequate capacity). Every rank passes its local data.
+func (c *Comm) Gather(root int, local []float32, parts [][]float32) {
+	tag := c.collTag()
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				copy(parts[r], local)
+				continue
+			}
+			c.Recv(r, tag, parts[r])
+		}
+		return
+	}
+	c.Send(root, tag, local)
+}
+
+// packFloat64 stores float64 bit patterns into pairs of float32 slots
+// losslessly (bit reinterpretation, not value conversion).
+func packFloat64(src []float64, dst []float32) {
+	for i, v := range src {
+		bits := float64bits(v)
+		dst[2*i] = float32frombits(uint32(bits >> 32))
+		dst[2*i+1] = float32frombits(uint32(bits))
+	}
+}
+
+func unpackFloat64(src []float32, dst []float64) {
+	for i := range dst {
+		hi := uint64(float32bits(src[2*i]))
+		lo := uint64(float32bits(src[2*i+1]))
+		dst[i] = float64frombits(hi<<32 | lo)
+	}
+}
+
+// Alltoall exchanges equal-sized chunks between every pair of ranks:
+// send[r] goes to rank r, and the returned slice holds one chunk from each
+// rank, in rank order. All chunks must share the same length.
+func (c *Comm) Alltoall(send [][]float32) [][]float32 {
+	tag := c.collTag()
+	out := make([][]float32, c.size)
+	for dst := 0; dst < c.size; dst++ {
+		if dst == c.rank {
+			out[dst] = append([]float32(nil), send[dst]...)
+			continue
+		}
+		c.Send(dst, tag, send[dst])
+	}
+	for src := 0; src < c.size; src++ {
+		if src == c.rank {
+			continue
+		}
+		buf := make([]float32, len(send[src]))
+		c.Recv(src, tag, buf)
+		out[src] = buf
+	}
+	return out
+}

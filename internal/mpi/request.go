@@ -1,0 +1,92 @@
+package mpi
+
+// Request is the handle of a nonblocking operation, completed by Wait or
+// polled by Test — the counterpart of MPI_Request.
+type Request struct {
+	comm *Comm
+	// kind discriminates send/recv; sends complete at post time under the
+	// runtime's buffered semantics.
+	isRecv bool
+	src    int
+	tag    int
+	buf    []float32
+	done   bool
+	n      int
+}
+
+// Isend posts a nonblocking send. Under the runtime's buffered semantics
+// the payload is copied and enqueued immediately, so the request is born
+// complete; it still participates in Waitall for schedule fidelity.
+func (c *Comm) Isend(dst, tag int, data []float32) *Request {
+	c.Send(dst, tag, data)
+	return &Request{comm: c, done: true}
+}
+
+// Irecv posts a nonblocking receive into buf. Completion happens at Wait or
+// a successful Test.
+func (c *Comm) Irecv(src, tag int, buf []float32) *Request {
+	if src == ProcNull {
+		return &Request{comm: c, done: true}
+	}
+	c.checkRank(src)
+	return &Request{comm: c, isRecv: true, src: src, tag: tag, buf: buf}
+}
+
+// Wait blocks until the request completes and returns the received element
+// count (0 for sends).
+func (r *Request) Wait() int {
+	if r.done {
+		return r.n
+	}
+	data := r.comm.world.mailboxes[r.src][r.comm.rank].pop(r.tag)
+	if len(data) > len(r.buf) {
+		panic("mpi: Irecv message truncated")
+	}
+	copy(r.buf, data)
+	r.n = len(data)
+	r.done = true
+	return r.n
+}
+
+// Test polls for completion without blocking, returning true once the
+// operation has finished. Mirrors MPI_Test, including its role as the
+// progress-engine prod used by the full communication pattern.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	data, ok := r.comm.world.mailboxes[r.src][r.comm.rank].tryPop(r.tag)
+	if !ok {
+		return false
+	}
+	if len(data) > len(r.buf) {
+		panic("mpi: Irecv message truncated")
+	}
+	copy(r.buf, data)
+	r.n = len(data)
+	r.done = true
+	return true
+}
+
+// Done reports whether the request has already completed (without polling).
+func (r *Request) Done() bool { return r.done }
+
+// Waitall completes every request.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Testall polls every request once and reports whether all are complete.
+func Testall(reqs []*Request) bool {
+	all := true
+	for _, r := range reqs {
+		if r != nil && !r.Test() {
+			all = false
+		}
+	}
+	return all
+}

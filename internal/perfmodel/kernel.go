@@ -1,0 +1,68 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"devigo/internal/core"
+	"devigo/internal/propagators"
+)
+
+// KernelChar characterises one wave kernel at one space order — everything
+// the analytic model needs, derived from the *actual compiled equations*
+// (not hand-entered constants).
+type KernelChar struct {
+	Name string
+	SO   int
+	// FlopsPerPoint is the per-gridpoint flop cost summed over clusters.
+	FlopsPerPoint float64
+	// StreamsPerPoint counts the distinct (field, timeOffset) data streams
+	// read or written per point; bytes/point = 4*streams under perfect
+	// neighbour reuse.
+	StreamsPerPoint float64
+	// HaloStreams is the number of (field, timeOffset) halo exchanges per
+	// timestep (after the drop/hoist/merge passes).
+	HaloStreams int
+	// HaloWidth is the exchanged ghost width (= space order).
+	HaloWidth int
+	// WorkingSetFields is the paper's per-model field count.
+	WorkingSetFields int
+}
+
+// BytesPerPoint returns the modelled DRAM traffic per grid point update.
+func (k KernelChar) BytesPerPoint() float64 { return 4 * k.StreamsPerPoint }
+
+// OperationalIntensity returns flops per DRAM byte.
+func (k KernelChar) OperationalIntensity() float64 {
+	return k.FlopsPerPoint / k.BytesPerPoint()
+}
+
+// Characterize builds the model on a tiny probe grid (per-point stencil
+// characteristics are grid-size independent), runs it through the full
+// compiler pipeline — CIRE, invariant hoisting, CSE — and extracts the
+// counters of the *generated* code.
+func Characterize(modelName string, so int) (KernelChar, error) {
+	probe := 4 * so // comfortably larger than any stencil radius
+	cfg := propagators.Config{
+		Shape:      []int{probe, probe, probe},
+		SpaceOrder: so,
+		NBL:        0,
+		Velocity:   1.5,
+	}
+	m, err := propagators.Build(modelName, cfg)
+	if err != nil {
+		return KernelChar{}, fmt.Errorf("perfmodel: %w", err)
+	}
+	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, nil, &core.Options{Name: modelName})
+	if err != nil {
+		return KernelChar{}, err
+	}
+	return KernelChar{
+		Name:             modelName,
+		SO:               so,
+		HaloWidth:        so,
+		WorkingSetFields: m.WorkingSetFields,
+		FlopsPerPoint:    float64(op.FlopsPerPointOptimized()),
+		StreamsPerPoint:  float64(op.StreamCount()),
+		HaloStreams:      op.HaloStreamCount(),
+	}, nil
+}

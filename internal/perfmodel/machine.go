@@ -1,0 +1,92 @@
+// Package perfmodel implements the calibrated analytic machine model that
+// substitutes for the paper's Archer2 (CPU) and Tursa (GPU) clusters: a
+// roofline compute model per kernel plus an alpha-beta communication model
+// per MPI mode. The functional behaviour of the generated code is validated
+// for real by the in-process MPI runtime; this package reproduces the
+// *wall-clock shape* of the paper's strong/weak scaling figures
+// (see DESIGN.md section 2 for the substitution rationale).
+package perfmodel
+
+// Machine describes one execution platform in per-rank terms.
+type Machine struct {
+	Name string
+	// RanksPerNode: 8 MPI ranks/node on Archer2, 1 rank per GPU (4/node)
+	// on Tursa.
+	RanksPerNode int
+	// MemBW is the effective memory bandwidth available to one rank (B/s).
+	MemBW float64
+	// Flops is the effective SP compute rate of one rank (flop/s).
+	Flops float64
+	// MsgOverheadIntra/Inter is the per-message cost within / across
+	// nodes (s): MPI stack traversal, slab pack/unpack, and for the basic
+	// mode the C-land buffer allocation.
+	MsgOverheadIntra, MsgOverheadInter float64
+	// BWIntra/Inter are per-rank injection bandwidths (B/s).
+	BWIntra, BWInter float64
+	// BWEffBasic/BWEffSingleStep derate the wire bandwidth per mode: the
+	// basic pattern's synchronous multi-step rendezvous cannot keep the
+	// link saturated, while the single-step patterns (diagonal/full)
+	// stream from preallocated buffers.
+	BWEffBasic, BWEffSingleStep float64
+	// StridePenalty multiplies the per-point cost in REMAINDER areas
+	// (non-contiguous accesses, lost vectorisation — paper Section III-h).
+	StridePenalty float64
+	// Efficiency derates the roofline bounds to achievable fractions.
+	Efficiency float64
+	// ThreadsPerRank is the OpenMP pool size (full mode sacrifices one
+	// thread to the MPI progress engine).
+	ThreadsPerRank int
+	// GPUOnlyBasic mirrors Table I: diagonal/full need preallocated
+	// device buffers which are unsupported on GPUs.
+	GPUOnlyBasic bool
+}
+
+// Archer2Node returns the CPU platform of the paper (Section IV-A1): dual
+// EPYC 7742, 8 ranks x 16 threads per node, HPE Slingshot interconnect.
+// Node-level roofline numbers come from the paper's Fig. 7 (288.75 GB/s
+// DRAM bandwidth, 6.10 TFLOP/s SP peak), divided evenly over the 8 ranks.
+func Archer2Node() Machine {
+	const (
+		nodeBW    = 288.75e9
+		nodeFlops = 6.10e12
+		ranks     = 8
+	)
+	return Machine{
+		Name:             "EPYC-7742-node",
+		RanksPerNode:     ranks,
+		MemBW:            nodeBW / ranks,
+		Flops:            nodeFlops / ranks,
+		MsgOverheadIntra: 3.0e-6,
+		MsgOverheadInter: 8.0e-6,
+		BWIntra:          12e9,         // shared-memory copies within a node
+		BWInter:          50e9 / ranks, // 2x200Gb/s NICs shared by 8 ranks
+		BWEffBasic:       0.80,
+		BWEffSingleStep:  0.95,
+		StridePenalty:    3.0,
+		Efficiency:       0.85,
+		ThreadsPerRank:   16,
+	}
+}
+
+// TursaA100 returns the GPU platform (Section IV-A2): NVIDIA A100-80,
+// 2035 GB/s HBM, 17.59 TFLOP/s SP (roofline Fig. 7), 4 GPUs per node with
+// NVLink intra-node and 4x200 Gb/s InfiniBand inter-node. One MPI rank per
+// GPU.
+func TursaA100() Machine {
+	return Machine{
+		Name:             "A100-80",
+		RanksPerNode:     4,
+		MemBW:            2035e9,
+		Flops:            17.59e12,
+		MsgOverheadIntra: 6.0e-6,    // device-side message setup
+		MsgOverheadInter: 15.0e-6,   // host staging + IB
+		BWIntra:          250e9,     // NVLink
+		BWInter:          100e9 / 4, // 4x200Gb/s IB shared by the node's GPUs
+		BWEffBasic:       0.80,
+		BWEffSingleStep:  0.95,
+		StridePenalty:    3.5,
+		Efficiency:       0.75,
+		ThreadsPerRank:   1,
+		GPUOnlyBasic:     true,
+	}
+}

@@ -1,0 +1,342 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"devigo/internal/halo"
+)
+
+var charCache = map[string]KernelChar{}
+
+func char(t testing.TB, model string, so int) KernelChar {
+	t.Helper()
+	key := model + string(rune('0'+so/4))
+	if kc, ok := charCache[key]; ok {
+		return kc
+	}
+	kc, err := Characterize(model, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charCache[key] = kc
+	return kc
+}
+
+func TestCharacterizeOrderings(t *testing.T) {
+	ac := char(t, "acoustic", 8)
+	el := char(t, "elastic", 8)
+	tti := char(t, "tti", 8)
+	ve := char(t, "viscoelastic", 8)
+
+	// Paper Section IV-B: TTI is by far the most flop-intensive.
+	if tti.FlopsPerPoint <= 3*ac.FlopsPerPoint {
+		t.Errorf("tti flops %v should dwarf acoustic %v", tti.FlopsPerPoint, ac.FlopsPerPoint)
+	}
+	// Working sets: 5 < 12..14 < 22 < 35/36.
+	if !(ac.WorkingSetFields < tti.WorkingSetFields &&
+		tti.WorkingSetFields < el.WorkingSetFields &&
+		el.WorkingSetFields < ve.WorkingSetFields) {
+		t.Errorf("working sets out of order: %d %d %d %d",
+			ac.WorkingSetFields, tti.WorkingSetFields, el.WorkingSetFields, ve.WorkingSetFields)
+	}
+	// Halo streams: acoustic 1, tti 2, elastic 9 (6 tau + 3 v), visco 15.
+	if ac.HaloStreams != 1 || tti.HaloStreams != 2 {
+		t.Errorf("halo streams acoustic=%d tti=%d", ac.HaloStreams, tti.HaloStreams)
+	}
+	if el.HaloStreams != 9 {
+		t.Errorf("elastic halo streams = %d, want 9", el.HaloStreams)
+	}
+	// Viscoelastic also exchanges 9 streams: its memory variables are
+	// read centred only, so they never need halos (the paper's "65%
+	// higher communication cost" refers to the field count as a proxy;
+	// the measured 128-node efficiencies of elastic and viscoelastic are
+	// in fact equal at 46%).
+	if ve.HaloStreams != 9 {
+		t.Errorf("viscoelastic halo streams = %d, want 9", ve.HaloStreams)
+	}
+	// TTI has the highest operational intensity (paper Fig. 6).
+	if tti.OperationalIntensity() <= ac.OperationalIntensity() {
+		t.Error("tti OI should exceed acoustic OI")
+	}
+}
+
+func TestCharacterizeFlopsGrowWithOrder(t *testing.T) {
+	for _, model := range []string{"acoustic", "tti"} {
+		f4 := char(t, model, 4).FlopsPerPoint
+		f8 := char(t, model, 8).FlopsPerPoint
+		if f8 <= f4 {
+			t.Errorf("%s: flops at so8 (%v) should exceed so4 (%v)", model, f8, f4)
+		}
+	}
+}
+
+func TestSingleNodeCPUThroughputBallpark(t *testing.T) {
+	// Paper Table IV: acoustic so-08 at 1 node = 12.4 GPts/s. We accept
+	// the right order of magnitude (the substrate is a model, not the
+	// authors' testbed) but the relative ordering across kernels must
+	// hold: acoustic >> tti > elastic > viscoelastic (Tables IV, VIII,
+	// XII, XVI: 12.4, 1.7, 3.5, 1.1).
+	get := func(model string) float64 {
+		s := Scenario{Kernel: char(t, model, 8), Machine: Archer2Node(),
+			Shape: []int{1024, 1024, 1024}, Nodes: 1, Mode: halo.ModeBasic}
+		tput, err := s.ThroughputGPts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tput
+	}
+	ac := get("acoustic")
+	el := get("elastic")
+	tti := get("tti")
+	ve := get("viscoelastic")
+	if ac < 4 || ac > 40 {
+		t.Errorf("acoustic 1-node = %.1f GPts/s, expected O(12)", ac)
+	}
+	if !(ac > tti && tti > el && el > ve) {
+		t.Errorf("ordering wrong: ac=%.2f tti=%.2f el=%.2f ve=%.2f", ac, tti, el, ve)
+	}
+}
+
+func TestStrongScalingEfficiencyDecays(t *testing.T) {
+	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: Archer2Node(),
+		Shape: []int{1024, 1024, 1024}, Mode: halo.ModeBasic}
+	prev := math.Inf(1)
+	for _, nodes := range []int{2, 8, 32, 128} {
+		s.Nodes = nodes
+		eff, err := s.Efficiency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff > prev+0.02 {
+			t.Errorf("efficiency grew at %d nodes: %.2f > %.2f", nodes, eff, prev)
+		}
+		if eff <= 0 || eff > 1.05 {
+			t.Errorf("efficiency at %d nodes = %.2f out of range", nodes, eff)
+		}
+		prev = eff
+	}
+	// Paper Fig. 8a: ~64% at 128 nodes; accept a generous band.
+	s.Nodes = 128
+	eff, _ := s.Efficiency()
+	if eff < 0.3 || eff > 0.95 {
+		t.Errorf("acoustic 128-node efficiency = %.2f, paper reports ~0.64", eff)
+	}
+}
+
+func TestTTIScalesBestOfAllKernels(t *testing.T) {
+	// Paper Section IV-D: TTI has the highest computation-to-communication
+	// ratio and therefore the best strong-scaling efficiency.
+	effOf := func(model string) float64 {
+		s := Scenario{Kernel: char(t, model, 8), Machine: Archer2Node(),
+			Shape: []int{1024, 1024, 1024}, Nodes: 128, Mode: halo.ModeDiagonal}
+		eff, err := s.Efficiency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eff
+	}
+	tti := effOf("tti")
+	for _, other := range []string{"acoustic", "elastic", "viscoelastic"} {
+		if effOf(other) > tti {
+			t.Errorf("%s efficiency %.2f exceeds tti %.2f", other, effOf(other), tti)
+		}
+	}
+}
+
+func TestModePreferences(t *testing.T) {
+	m := Archer2Node()
+	// Paper Fig. 8a / Table IV: at 128 nodes the acoustic kernel favours
+	// basic over diagonal and full.
+	ac := Scenario{Kernel: char(t, "acoustic", 8), Machine: m,
+		Shape: []int{1024, 1024, 1024}, Nodes: 128}
+	best, _, err := SelectMode(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != halo.ModeBasic {
+		t.Errorf("acoustic@128 best mode = %v, paper says basic", best)
+	}
+	// Paper Table VIII: elastic at 128 nodes favours diagonal.
+	el := Scenario{Kernel: char(t, "elastic", 8), Machine: m,
+		Shape: []int{1024, 1024, 1024}, Nodes: 128}
+	best, _, err = SelectMode(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != halo.ModeDiagonal {
+		t.Errorf("elastic@128 best mode = %v, paper says diag", best)
+	}
+	// Paper Section IV-D: full is never the best choice for TTI.
+	for _, nodes := range []int{2, 8, 32, 128} {
+		tti := Scenario{Kernel: char(t, "tti", 8), Machine: m,
+			Shape: []int{1024, 1024, 1024}, Nodes: nodes}
+		best, _, err := SelectMode(tti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == halo.ModeFull {
+			t.Errorf("full mode selected for tti at %d nodes; paper: never best", nodes)
+		}
+	}
+}
+
+func TestFullModeRemainderPenaltyGrowsWithSO(t *testing.T) {
+	// Paper discussion: higher SDOs lower the core-to-remainder ratio,
+	// hurting full mode more.
+	rel := func(so int) float64 {
+		k := char(t, "acoustic", so)
+		full := Scenario{Kernel: k, Machine: Archer2Node(),
+			Shape: []int{1024, 1024, 1024}, Nodes: 64, Mode: halo.ModeFull}
+		diag := full
+		diag.Mode = halo.ModeDiagonal
+		tf, err := full.ThroughputGPts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := diag.ThroughputGPts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tf / td
+	}
+	if rel(16) >= rel(4) {
+		t.Errorf("full/diag ratio should shrink with SO: so4=%.3f so16=%.3f", rel(4), rel(16))
+	}
+}
+
+func TestGPUFasterAtFewDevicesLessEfficientAtScale(t *testing.T) {
+	ac := char(t, "acoustic", 8)
+	cpu := Scenario{Kernel: ac, Machine: Archer2Node(), Shape: []int{1024, 1024, 1024},
+		Nodes: 1, Mode: halo.ModeBasic}
+	gpu := Scenario{Kernel: ac, Machine: TursaA100(), Shape: []int{1158, 1158, 1158},
+		Nodes: 1, Mode: halo.ModeBasic}
+	tc, err := cpu.ThroughputGPts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := gpu.ThroughputGPts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 31.2 vs 12.4 GPts/s at one device/node — GPU ~2.5x.
+	if tg <= 1.5*tc {
+		t.Errorf("single A100 (%.1f) should clearly beat a CPU node (%.1f)", tg, tc)
+	}
+	// Strong-scaling efficiency at 128: GPU decays harder (37%% vs 64%%).
+	cpu.Nodes, gpu.Nodes = 128, 128
+	ec, err := cpu.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := gpu.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg >= ec {
+		t.Errorf("GPU efficiency %.2f should fall below CPU %.2f at 128", eg, ec)
+	}
+}
+
+func TestGPURejectsNonBasicModes(t *testing.T) {
+	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: TursaA100(),
+		Shape: []int{512, 512, 512}, Nodes: 8, Mode: halo.ModeDiagonal}
+	if _, err := s.StepTime(); err == nil {
+		t.Error("diagonal on GPU must be rejected (Table I)")
+	}
+}
+
+func TestWeakScalingRuntimeNearlyFlat(t *testing.T) {
+	// Paper Fig. 12: runtime stays nearly constant at 256^3 per rank.
+	k := char(t, "acoustic", 8)
+	m := Archer2Node()
+	runtimeAt := func(nodes int) float64 {
+		ranks := nodes * m.RanksPerNode
+		topo := []int{ranks, 1, 1}
+		shape := []int{256 * ranks, 256, 256}
+		s := Scenario{Kernel: k, Machine: m, Shape: shape, Nodes: nodes,
+			Mode: halo.ModeBasic, Topology: topo}
+		st, err := s.StepTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st * 290
+	}
+	r1 := runtimeAt(1)
+	r128 := runtimeAt(128)
+	if r128 > 2*r1 {
+		t.Errorf("weak scaling runtime blew up: %v -> %v", r1, r128)
+	}
+	if r128 < r1*0.9 {
+		t.Errorf("weak scaling runtime should not shrink: %v -> %v", r1, r128)
+	}
+}
+
+func TestWeakScalingGPUAbout4xFaster(t *testing.T) {
+	// Paper Fig. 12: GPUs are consistently ~4x faster in weak scaling.
+	k := char(t, "acoustic", 8)
+	cpu := Archer2Node()
+	gpu := TursaA100()
+	sc := Scenario{Kernel: k, Machine: cpu, Shape: []int{512, 512, 512}, Nodes: 8,
+		Mode: halo.ModeBasic}
+	sg := Scenario{Kernel: k, Machine: gpu, Shape: []int{512, 512, 512}, Nodes: 8,
+		Mode: halo.ModeBasic}
+	tc, err := sc.StepTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := sg.StepTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~4x; our model gives ~2-3x because the anchored
+	// CPU node rate is higher relative to its comm cost than the paper's
+	// measured weak-scaling runs (documented in EXPERIMENTS.md).
+	ratio := tc / tg
+	if ratio < 1.5 || ratio > 8 {
+		t.Errorf("GPU weak-scaling speedup = %.1fx, paper reports ~4x", ratio)
+	}
+}
+
+func TestRooflineAllKernelsMemoryBoundOnCPU(t *testing.T) {
+	// Paper Fig. 7: flop-optimised kernels are mainly DRAM-bandwidth bound.
+	m := Archer2Node()
+	for _, model := range []string{"acoustic", "elastic", "viscoelastic"} {
+		p := Roofline(char(t, model, 8), m)
+		if p.Bound != "memory" {
+			t.Errorf("%s should be memory bound on EPYC, got %s (AI %.1f)", model, p.Bound, p.AI)
+		}
+	}
+}
+
+func TestTopologyOverrideMatchesPaperTuning(t *testing.T) {
+	// Paper discussion: splitting only x and y helps full mode (bigger
+	// messages, no z-strided remainder traffic); at minimum the override
+	// must be honoured and produce a different prediction.
+	k := char(t, "acoustic", 8)
+	m := Archer2Node()
+	auto := Scenario{Kernel: k, Machine: m, Shape: []int{1024, 1024, 1024},
+		Nodes: 16, Mode: halo.ModeFull}
+	tuned := auto
+	tuned.Topology = []int{16, 8, 1}
+	ta, err := auto.ThroughputGPts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := tuned.ThroughputGPts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta == tt {
+		t.Error("topology override had no effect")
+	}
+}
+
+func TestScenarioRejectsBadTopology(t *testing.T) {
+	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: Archer2Node(),
+		Shape: []int{256, 256, 256}, Nodes: 2, Mode: halo.ModeBasic,
+		Topology: []int{3, 1, 1}}
+	if _, err := s.StepTime(); err == nil {
+		t.Error("mismatched topology must error")
+	}
+}

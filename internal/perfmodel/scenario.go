@@ -1,0 +1,282 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+)
+
+// Scenario is one point of a scaling experiment: a kernel on a machine at
+// a node count with a communication mode.
+type Scenario struct {
+	Kernel  KernelChar
+	Machine Machine
+	// Shape is the global grid (paper problem sizes, e.g. 1024^3).
+	Shape []int
+	// Nodes is the CPU node count, or for GPUs the *device* count.
+	Nodes int
+	// Mode is the communication pattern.
+	Mode halo.Mode
+	// Topology optionally overrides the rank grid (the paper's manual
+	// full-mode tuning); nil uses DimsCreate.
+	Topology []int
+}
+
+// Ranks returns the MPI rank count of the scenario. For the GPU machine
+// Nodes counts devices, each hosting one rank.
+func (s *Scenario) Ranks() int {
+	if s.Machine.GPUOnlyBasic {
+		return s.Nodes
+	}
+	return s.Nodes * s.Machine.RanksPerNode
+}
+
+// interconnect returns the per-message overhead and per-rank bandwidth
+// applicable at the scenario's scale: intra-node while everything fits in
+// one node (NVLink for <=RanksPerNode GPUs), inter-node beyond.
+func (s *Scenario) interconnect() (alpha, beta float64) {
+	intranode := s.Nodes == 1 || (s.Machine.GPUOnlyBasic && s.Nodes <= s.Machine.RanksPerNode)
+	if intranode {
+		return s.Machine.MsgOverheadIntra, s.Machine.BWIntra
+	}
+	return s.Machine.MsgOverheadInter, s.Machine.BWInter
+}
+
+// localShape returns the slowest rank's chunk (ceil division).
+func (s *Scenario) localShape() ([]int, error) {
+	ranks := s.Ranks()
+	topo := s.Topology
+	if topo == nil {
+		topo = grid.DimsCreate(ranks, len(s.Shape))
+	}
+	prod := 1
+	for _, t := range topo {
+		prod *= t
+	}
+	if prod != ranks {
+		return nil, fmt.Errorf("perfmodel: topology %v does not tile %d ranks", topo, ranks)
+	}
+	out := make([]int, len(s.Shape))
+	for d := range s.Shape {
+		out[d] = (s.Shape[d] + topo[d] - 1) / topo[d]
+		if out[d] < 1 {
+			return nil, fmt.Errorf("perfmodel: %d ranks over-decompose dim %d", ranks, d)
+		}
+	}
+	return out, nil
+}
+
+// pointCost returns the seconds per grid-point update on one rank:
+// paper-anchored when the kernel matches a measured configuration,
+// first-principles roofline otherwise.
+func (s *Scenario) pointCost() float64 {
+	if anchor, ok := paperAnchor(s.Kernel.Name, s.Kernel.SO, s.Machine.GPUOnlyBasic); ok {
+		perRank := anchor * 1e9 // GPU anchors are per device == per rank
+		if !s.Machine.GPUOnlyBasic {
+			perRank = anchor * 1e9 / float64(s.Machine.RanksPerNode)
+		}
+		return 1 / perRank
+	}
+	bw := s.Machine.MemBW * s.Machine.Efficiency
+	fl := s.Machine.Flops * s.Machine.Efficiency
+	tMem := s.Kernel.BytesPerPoint() / bw
+	tFlop := s.Kernel.FlopsPerPoint / fl
+	if tMem > tFlop {
+		return tMem
+	}
+	return tFlop
+}
+
+func prod(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}
+
+// shellBytes returns the byte volume of the exchanged halo shell for one
+// field stream: both modes ship the same union of data (the full shell),
+// basic via 6 fat slabs, diagonal via 26 thin ones.
+func shellBytes(local []int, h float64) float64 {
+	outer, inner := 1.0, 1.0
+	for d := range local {
+		outer *= float64(local[d]) + 2*h
+		inner *= float64(local[d])
+	}
+	return 4 * (outer - inner)
+}
+
+// commTime models one timestep's halo-exchange cost for the slowest rank.
+// Messages of all exchanged fields are bundled per step (preallocated
+// buffer bundles for diagonal/full; one allocation sweep for basic), so
+// per-message overheads are paid once per step while byte volume scales
+// with the stream count.
+func (s *Scenario) commTime(local []int) float64 {
+	if s.Ranks() == 1 {
+		return 0
+	}
+	alpha, beta := s.interconnect()
+	h := float64(s.Kernel.HaloWidth)
+	nd := len(local)
+	streams := float64(s.Kernel.HaloStreams)
+	bytes := shellBytes(local, h) * streams
+
+	switch s.Mode {
+	case halo.ModeBasic:
+		// 2 messages per dimension, three synchronous rendezvous phases:
+		// fewer, larger messages, but the multi-step sync and the C-land
+		// allocation keep the wire under-saturated (Table I).
+		nmsgs := float64(2 * nd)
+		return nmsgs*alpha + bytes/(beta*s.Machine.BWEffBasic)
+	case halo.ModeDiagonal, halo.ModeFull:
+		// Single-step posting of the full neighbourhood: 26 messages in
+		// 3-D, smaller each, streaming from preallocated buffers.
+		nmsgs := 1.0
+		for i := 0; i < nd; i++ {
+			nmsgs *= 3
+		}
+		nmsgs--
+		return nmsgs*alpha + bytes/(beta*s.Machine.BWEffSingleStep)
+	default:
+		return 0
+	}
+}
+
+// StepTime returns the modelled seconds per timestep on the slowest rank.
+func (s *Scenario) StepTime() (float64, error) {
+	local, err := s.localShape()
+	if err != nil {
+		return 0, err
+	}
+	if s.Machine.GPUOnlyBasic && s.Mode != halo.ModeBasic && s.Ranks() > 1 {
+		return 0, fmt.Errorf("perfmodel: %s supports only the basic pattern (Table I)", s.Machine.Name)
+	}
+	tpt := s.pointCost()
+	localPts := float64(prod(local))
+	comm := s.commTime(local)
+
+	if s.Mode != halo.ModeFull || s.Ranks() == 1 {
+		return localPts*tpt + comm, nil
+	}
+
+	// Full mode: CORE overlaps communication; REMAINDER pays the stride
+	// penalty; one of the simulated threads is sacrificed to the progress
+	// engine; overlap is imperfect (MPI_Test prods only between tiles).
+	h := s.Kernel.HaloWidth
+	corePts := 1.0
+	for d := range local {
+		c := local[d] - 2*h
+		if c < 0 {
+			c = 0
+		}
+		corePts *= float64(c)
+	}
+	remPts := localPts - corePts
+	// One OpenMP worker of the pool is sacrificed to the MPI_Test
+	// progress engine (paper Section III-h).
+	threadLoss := 0.0
+	if s.Machine.ThreadsPerRank > 1 {
+		threadLoss = 1.0 / float64(s.Machine.ThreadsPerRank)
+	}
+	tCore := corePts * tpt / (1 - threadLoss)
+	const overlapEff = 0.7
+	hidden := comm * overlapEff
+	overlapped := tCore
+	if hidden > overlapped {
+		overlapped = hidden
+	}
+	exposed := comm - hidden
+	tRem := remPts * tpt * s.Machine.StridePenalty
+	return overlapped + exposed + tRem, nil
+}
+
+// ThroughputGPts returns the modelled global throughput in GPts/s.
+func (s *Scenario) ThroughputGPts() (float64, error) {
+	st, err := s.StepTime()
+	if err != nil {
+		return 0, err
+	}
+	return float64(prod(s.Shape)) / st / 1e9, nil
+}
+
+// Efficiency returns the strong-scaling efficiency vs a 1-node run of the
+// same scenario: (GPts/s at N) / (N * GPts/s at 1), matching the paper's
+// ideal-percentage annotations.
+func (s *Scenario) Efficiency() (float64, error) {
+	tput, err := s.ThroughputGPts()
+	if err != nil {
+		return 0, err
+	}
+	one := *s
+	one.Nodes = 1
+	one.Mode = s.Mode
+	one.Topology = nil
+	base, err := one.ThroughputGPts()
+	if err != nil {
+		return 0, err
+	}
+	return tput / (float64(s.Nodes) * base), nil
+}
+
+// SelectMode returns the fastest communication pattern for the scenario —
+// the automated tuning the paper lists as future work.
+func SelectMode(s Scenario) (halo.Mode, float64, error) {
+	best := halo.ModeBasic
+	bestT := 0.0
+	modes := []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull}
+	if s.Machine.GPUOnlyBasic {
+		modes = modes[:1]
+	}
+	first := true
+	for _, m := range modes {
+		sc := s
+		sc.Mode = m
+		tput, err := sc.ThroughputGPts()
+		if err != nil {
+			return best, bestT, err
+		}
+		if first || tput > bestT {
+			best, bestT = m, tput
+			first = false
+		}
+	}
+	return best, bestT, nil
+}
+
+// RooflinePoint is one kernel's position on the integrated roofline
+// (paper Fig. 7).
+type RooflinePoint struct {
+	Kernel  string
+	Machine string
+	// AI is the operational intensity (flop/byte).
+	AI float64
+	// GFlops is the modelled achieved performance.
+	GFlops float64
+	// Bound is "memory" or "compute".
+	Bound string
+}
+
+// Roofline places a kernel on a machine's roofline.
+func Roofline(k KernelChar, m Machine) RooflinePoint {
+	ai := k.OperationalIntensity()
+	memBound := ai * m.MemBW
+	p := RooflinePoint{Kernel: k.Name, Machine: m.Name, AI: ai}
+	// Whole-machine-per-rank numbers: scale by ranks/node for node-level
+	// figures like the paper's.
+	nodeBW := m.MemBW * float64(m.RanksPerNode)
+	nodeFlops := m.Flops * float64(m.RanksPerNode)
+	if m.GPUOnlyBasic {
+		nodeBW, nodeFlops = m.MemBW, m.Flops // per device, as in Fig. 7
+	}
+	memBound = ai * nodeBW
+	if memBound < nodeFlops {
+		p.GFlops = memBound * m.Efficiency / 1e9
+		p.Bound = "memory"
+	} else {
+		p.GFlops = nodeFlops * m.Efficiency / 1e9
+		p.Bound = "compute"
+	}
+	return p
+}

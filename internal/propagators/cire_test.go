@@ -1,0 +1,145 @@
+package propagators
+
+import (
+	"strings"
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/halo"
+	"devigo/internal/ir"
+)
+
+// These tests exercise the compiler's CIRE flop-reduction pass through the
+// TTI model (they live here rather than in internal/core to avoid an
+// import cycle: propagators -> core).
+
+func buildOp(t *testing.T, name string, shape []int, so int) (*Model, *core.Operator) {
+	t.Helper()
+	m, err := Build(name, Config{Shape: shape, SpaceOrder: so, NBL: 0, Velocity: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, nil, &core.Options{Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, op
+}
+
+func TestCIREReducesTTIFlops(t *testing.T) {
+	m, op := buildOp(t, "tti", []int{24, 24}, 8)
+	clusters, err := ir.Lower(m.Eqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := 0
+	for _, c := range clusters {
+		naive += c.FlopsPerPoint()
+	}
+	optimized := op.FlopsPerPointOptimized()
+	if optimized <= 0 || naive/optimized < 10 {
+		t.Errorf("CIRE reduction too weak: naive %d, optimized %d", naive, optimized)
+	}
+}
+
+func TestCIRECreatesScratchFields(t *testing.T) {
+	m, op := buildOp(t, "tti", []int{24, 24}, 4)
+	scratch := 0
+	for name := range m.Fields {
+		if strings.HasPrefix(name, "cire") {
+			scratch++
+		}
+	}
+	if scratch == 0 {
+		t.Fatal("no scratch fields created for TTI")
+	}
+	// Scratch fields never appear in halo requirements.
+	for _, st := range op.Schedule.Steps {
+		for _, h := range st.Halos {
+			if strings.HasPrefix(h.Field, "cire") {
+				t.Errorf("scratch field %s scheduled for exchange", h.Field)
+			}
+		}
+	}
+	// The trig parameters must be hoisted into the preamble: extended-box
+	// scratch computation reads their halos.
+	found := false
+	for _, h := range op.Schedule.Preamble {
+		if h.Field == "ct" || h.Field == "st" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trig parameter halos not hoisted despite extended-box reads")
+	}
+}
+
+func TestCIRELeavesSimpleKernelsAlone(t *testing.T) {
+	for _, name := range []string{"acoustic", "elastic"} {
+		m, _ := buildOp(t, name, []int{16, 16}, 4)
+		for fname := range m.Fields {
+			if strings.HasPrefix(fname, "cire") {
+				t.Errorf("%s: unexpected scratch field %s", name, fname)
+			}
+		}
+	}
+}
+
+func TestAnalysisCountersConsistent(t *testing.T) {
+	_, op := buildOp(t, "acoustic", []int{16, 16, 16}, 8)
+	if op.StreamCount() != 5 {
+		t.Errorf("acoustic streams = %d, want 5 (u write, u, u[t-1], m, damp)", op.StreamCount())
+	}
+	if op.HaloStreamCount() != 1 {
+		t.Errorf("acoustic halo streams = %d, want 1", op.HaloStreamCount())
+	}
+	f := op.FlopsPerPointOptimized()
+	if f < 30 || f > 300 {
+		t.Errorf("acoustic so-8 optimized flops = %d, outside plausible range", f)
+	}
+}
+
+func TestOperatorReusableAcrossApplies(t *testing.T) {
+	// Time continuation: applying [0,4] then [5,9] must equal one [0,9]
+	// application.
+	run := func(split bool) []float32 {
+		m, op := buildOp(t, "acoustic", []int{16, 16}, 4)
+		syms := map[string]float64{"dt": m.CriticalDt}
+		m.Fields["u"].SetDomain(0, 1, 8, 8)
+		if split {
+			if err := op.Apply(&core.ApplyOpts{TimeM: 0, TimeN: 4, Syms: syms}); err != nil {
+				t.Fatal(err)
+			}
+			if err := op.Apply(&core.ApplyOpts{TimeM: 5, TimeN: 9, Syms: syms}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := op.Apply(&core.ApplyOpts{TimeM: 0, TimeN: 9, Syms: syms}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Fields["u"].Buf(10).Data
+	}
+	oneShot := run(false)
+	twoShot := run(true)
+	for i := range oneShot {
+		if oneShot[i] != twoShot[i] {
+			t.Fatalf("continuation diverges at %d: %v vs %v", i, oneShot[i], twoShot[i])
+		}
+	}
+}
+
+func TestTTIDistributedWithCIREScratch(t *testing.T) {
+	// Regression guard for the extended-box halo interaction: TTI
+	// distributed over an uneven topology must match serial (scratch
+	// fields recomputed redundantly from exchanged parameter halos).
+	shape := []int{26, 26}
+	serial := runSerial(t, "tti", shape, 4, 12)
+	for _, topo := range [][]int{{2, 1}, {1, 4}} {
+		norm, _ := runDMP(t, "tti", shape, topo, halo.ModeDiagonal, 4, 12)
+		diff := norm - serial.Norm
+		if diff > 1e-9*serial.Norm || diff < -1e-9*serial.Norm {
+			t.Errorf("topology %v: norm %v != serial %v", topo, norm, serial.Norm)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package propagators builds the four seismic wave models evaluated by the
+// paper — isotropic acoustic, TTI (anisotropic acoustic), isotropic
+// elastic, and visco-elastic — as symbolic equation systems over devigo
+// fields, together with their physical setup (velocity model, absorbing
+// boundary damping, CFL timestep, Ricker source).
+package propagators
+
+import (
+	"fmt"
+	"math"
+
+	"devigo/internal/field"
+	"devigo/internal/grid"
+	"devigo/internal/symbolic"
+)
+
+// Config describes a model instantiation.
+type Config struct {
+	// Shape is the interior grid shape (absorbing layers included —
+	// callers size the domain as in the paper: physical + 2*NBL).
+	Shape []int
+	// Extent is the physical extent; nil derives unit spacing.
+	Extent []float64
+	// SpaceOrder is the spatial discretisation order (4, 8, 12, 16).
+	SpaceOrder int
+	// NBL is the absorbing boundary layer width in points (paper: 40).
+	NBL int
+	// Velocity is the homogeneous background P-wave speed (km/s if
+	// extents are in km; any consistent unit works).
+	Velocity float64
+	// Decomp/Rank distribute the fields; nil Decomp means serial.
+	Decomp *grid.Decomposition
+	Rank   int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SpaceOrder == 0 {
+		out.SpaceOrder = 8
+	}
+	if out.Velocity == 0 {
+		out.Velocity = 1.5
+	}
+	return out
+}
+
+// Model is a ready-to-compile propagator.
+type Model struct {
+	Name       string
+	Grid       *grid.Grid
+	SpaceOrder int
+	Eqs        []symbolic.Eq
+	Fields     map[string]*field.Function
+	// WaveFields names the time-varying unknowns in update order.
+	WaveFields []string
+	// SourceFields lists the fields a point source injects into (one for
+	// acoustic/TTI, the normal stresses for elastic/viscoelastic).
+	SourceFields []string
+	// CriticalDt is the CFL-stable timestep for the configured velocity.
+	CriticalDt float64
+	// WorkingSetFields counts the fields in the working set, with time
+	// buffers counted individually — the paper's "N fields" metric.
+	WorkingSetFields int
+}
+
+// fieldCfg builds the per-field storage config for a model config.
+func fieldCfg(c *Config, stagger []int) *field.Config {
+	fc := &field.Config{Stagger: stagger}
+	if c.Decomp != nil {
+		fc.Decomp = c.Decomp
+		fc.Rank = c.Rank
+	}
+	return fc
+}
+
+// makeGrid constructs the grid for a config.
+func makeGrid(c *Config) (*grid.Grid, error) {
+	return grid.New(c.Shape, c.Extent)
+}
+
+// dampField fills an absorbing-boundary damping profile: zero in the
+// interior, growing quadratically towards the domain faces over the NBL
+// outermost points (Devito's damp field).
+func dampField(f *field.Function, nbl int, coeff float64) {
+	if nbl <= 0 {
+		return
+	}
+	nd := f.NDims()
+	shape := f.Grid.Shape
+	idx := make([]int, nd)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == nd {
+			// Distance to the nearest face, in points.
+			depth := 0.0
+			for k := 0; k < nd; k++ {
+				g := f.Origin[k] + idx[k]
+				dist := g
+				if shape[k]-1-g < dist {
+					dist = shape[k] - 1 - g
+				}
+				if dist < nbl {
+					pen := float64(nbl-dist) / float64(nbl)
+					if pen > depth {
+						depth = pen
+					}
+				}
+			}
+			f.SetDomain(0, float32(coeff*depth*depth), idx...)
+			return
+		}
+		for idx[d] = 0; idx[d] < f.LocalShape[d]; idx[d]++ {
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// fillConst sets a field's DOMAIN to a constant.
+func fillConst(f *field.Function, v float32) {
+	nd := f.NDims()
+	idx := make([]int, nd)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == nd {
+			f.SetDomain(0, v, idx...)
+			return
+		}
+		for idx[d] = 0; idx[d] < f.LocalShape[d]; idx[d]++ {
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// criticalDt computes the CFL bound dt <= coeff * h_min / v_max. The
+// coefficient folds in the dimensionality and FD-order safety factor used
+// by Devito's wave examples.
+func criticalDt(g *grid.Grid, vmax float64) float64 {
+	hmin := math.Inf(1)
+	for d := 0; d < g.NDims(); d++ {
+		if h := g.Spacing(d); h < hmin {
+			hmin = h
+		}
+	}
+	coeff := 0.38
+	if g.NDims() == 2 {
+		coeff = 0.42
+	}
+	return coeff * hmin / vmax
+}
+
+// CenterSource returns the physical coordinates of the domain centre — the
+// default source position for examples and benchmarks.
+func CenterSource(g *grid.Grid) []float64 {
+	out := make([]float64, g.NDims())
+	for d := range out {
+		out[d] = g.Extent[d] / 2
+	}
+	return out
+}
+
+// ReceiverLine returns n receiver coordinates along the first dimension at
+// fixed depth in the remaining ones.
+func ReceiverLine(g *grid.Grid, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		c := make([]float64, g.NDims())
+		c[0] = g.Extent[0] * float64(i) / float64(n-1)
+		for d := 1; d < g.NDims(); d++ {
+			c[d] = g.Extent[d] / 4
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// validateShape guards against degenerate configurations.
+func validateShape(c *Config, minPoints int) error {
+	for d, s := range c.Shape {
+		if s < minPoints {
+			return fmt.Errorf("propagators: shape[%d]=%d too small (need >= %d)", d, s, minPoints)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package propagators
+
+import (
+	"math"
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/ir"
+	"devigo/internal/mpi"
+)
+
+func serialCfg(shape []int, so int) Config {
+	return Config{Shape: shape, SpaceOrder: so, NBL: 4, Velocity: 1.5}
+}
+
+func TestAcousticModelStructure(t *testing.T) {
+	m, err := Acoustic(serialCfg([]int{24, 24, 24}, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorkingSetFields != 5 {
+		t.Errorf("working set = %d, want 5 (paper)", m.WorkingSetFields)
+	}
+	if len(m.Eqs) != 1 {
+		t.Errorf("acoustic should lower to 1 update equation")
+	}
+	if m.CriticalDt <= 0 {
+		t.Error("critical dt missing")
+	}
+	// One cluster; halo on u only (m and damp are read centred).
+	clusters, err := ir.Lower(m.Eqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("acoustic clusters = %d, want 1", len(clusters))
+	}
+	if !clusters[0].HaloReads["u"][0] {
+		t.Error("u halo read missing")
+	}
+	if len(clusters[0].HaloReads) != 1 {
+		t.Errorf("only u should need halos, got %v", clusters[0].HaloReads)
+	}
+	// SDO 8 -> radius 4 per dimension.
+	for d, r := range clusters[0].Radius {
+		if r != 4 {
+			t.Errorf("radius[%d] = %d, want 4", d, r)
+		}
+	}
+}
+
+func TestElasticModelStructure(t *testing.T) {
+	m, err := Elastic(serialCfg([]int{20, 20, 20}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorkingSetFields != 22 {
+		t.Errorf("3-D elastic working set = %d, want 22 (paper)", m.WorkingSetFields)
+	}
+	if len(m.Eqs) != 9 {
+		t.Errorf("3-D elastic should have 9 updates, got %d", len(m.Eqs))
+	}
+	clusters, err := ir.Lower(m.Eqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Velocity cluster then stress cluster (stress reads v[t+1]).
+	if len(clusters) != 2 {
+		t.Fatalf("elastic clusters = %d, want 2", len(clusters))
+	}
+	if !clusters[1].HaloReads["vx"][1] {
+		t.Error("stress cluster must exchange v[t+1] halos")
+	}
+}
+
+func TestViscoelasticModelStructure(t *testing.T) {
+	m, err := Viscoelastic(serialCfg([]int{20, 20, 20}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Eqs) != 15 {
+		t.Errorf("3-D viscoelastic should have 15 stencil updates (paper), got %d", len(m.Eqs))
+	}
+	if m.WorkingSetFields != 35 {
+		t.Errorf("working set = %d, want 35 (paper quotes 36)", m.WorkingSetFields)
+	}
+	clusters, err := ir.Lower(m.Eqs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v | r+tau: the memory-variable and stress updates fuse (stress reads
+	// r[t+1] centred only).
+	if len(clusters) != 2 {
+		t.Fatalf("viscoelastic clusters = %d, want 2", len(clusters))
+	}
+}
+
+func TestTTIModelStructure(t *testing.T) {
+	m, err := TTI(serialCfg([]int{16, 16}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ir.Lower(m.Eqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("tti clusters = %d, want 1 (p and q read only old levels)", len(clusters))
+	}
+	// The rotated Laplacian has a far higher flop count than acoustic.
+	ac, _ := Acoustic(serialCfg([]int{16, 16}, 4))
+	acC, _ := ir.Lower(ac.Eqs, 2)
+	if clusters[0].FlopsPerPoint() < 3*acC[0].FlopsPerPoint() {
+		t.Errorf("tti flops (%d) should dwarf acoustic (%d)",
+			clusters[0].FlopsPerPoint(), acC[0].FlopsPerPoint())
+	}
+	// Rotated stencil reads beyond the plain Laplacian radius of so/2.
+	if clusters[0].Radius[0] <= 2 {
+		t.Errorf("tti radius = %v, expected cross-derivative widening", clusters[0].Radius)
+	}
+}
+
+func runSerial(t *testing.T, name string, shape []int, so, nt int) *RunResult {
+	t.Helper()
+	m, err := Build(name, serialCfg(shape, so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: nt, NReceivers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAcousticPropagatesEnergy(t *testing.T) {
+	res := runSerial(t, "acoustic", []int{32, 32}, 4, 60)
+	if res.Norm <= 0 || math.IsNaN(res.Norm) || math.IsInf(res.Norm, 0) {
+		t.Fatalf("field norm = %v", res.Norm)
+	}
+	// Receivers away from the source must eventually record signal.
+	last := res.Receivers[len(res.Receivers)-1]
+	any := false
+	for _, v := range last {
+		if math.Abs(v) > 1e-12 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no energy reached the receivers")
+	}
+}
+
+func TestAllModelsRunStable2D(t *testing.T) {
+	for _, name := range ModelNames() {
+		t.Run(name, func(t *testing.T) {
+			res := runSerial(t, name, []int{24, 24}, 4, 40)
+			if math.IsNaN(res.Norm) || math.IsInf(res.Norm, 0) {
+				t.Fatalf("%s norm = %v", name, res.Norm)
+			}
+			if res.Norm == 0 {
+				t.Fatalf("%s produced a silent field", name)
+			}
+			if res.Perf.PointsUpdated == 0 {
+				t.Error("no points updated")
+			}
+		})
+	}
+}
+
+func TestAllModelsRunStable3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-D smoke test skipped in -short")
+	}
+	for _, name := range ModelNames() {
+		t.Run(name, func(t *testing.T) {
+			res := runSerial(t, name, []int{16, 16, 16}, 4, 15)
+			if math.IsNaN(res.Norm) || math.IsInf(res.Norm, 0) || res.Norm == 0 {
+				t.Fatalf("%s norm = %v", name, res.Norm)
+			}
+		})
+	}
+}
+
+// runDMP executes a model distributed over the topology and returns the
+// final checksum plus receiver traces from rank 0.
+func runDMP(t *testing.T, name string, shape, topo []int, mode halo.Mode, so, nt int) (float64, [][]float64) {
+	t.Helper()
+	nranks := 1
+	for _, v := range topo {
+		nranks *= v
+	}
+	w := mpi.NewWorld(nranks)
+	var norm float64
+	var traces [][]float64
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), topo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, so)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build(name, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			norm = res.Norm
+			traces = res.Receivers
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, traces
+}
+
+func TestDMPEquivalence_AllModelsAllModes(t *testing.T) {
+	// The flagship correctness result: for every model and every
+	// communication pattern, the distributed run reproduces the serial
+	// checksum and receiver traces exactly (identical float32 operation
+	// order per point).
+	shape := []int{24, 24}
+	so, nt := 4, 25
+	for _, name := range ModelNames() {
+		serial := runSerial(t, name, shape, so, nt)
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			norm, traces := runDMP(t, name, shape, []int{2, 2}, mode, so, nt)
+			if math.Abs(norm-serial.Norm) > 1e-9*math.Max(1, serial.Norm) {
+				t.Errorf("%s/%s: norm %v != serial %v", name, mode, norm, serial.Norm)
+			}
+			for it := range traces {
+				for ir2 := range traces[it] {
+					d := math.Abs(traces[it][ir2] - serial.Receivers[it][ir2])
+					if d > 1e-9*math.Max(1e-6, math.Abs(serial.Receivers[it][ir2])) {
+						t.Errorf("%s/%s: trace (%d,%d) diverges: %v vs %v",
+							name, mode, it, ir2, traces[it][ir2], serial.Receivers[it][ir2])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDMPEquivalence_CustomTopologies(t *testing.T) {
+	// Paper Fig. 2: custom decompositions must not change results.
+	shape := []int{24, 24}
+	serial := runSerial(t, "acoustic", shape, 4, 20)
+	for _, topo := range [][]int{{4, 1}, {1, 4}, {2, 2}} {
+		norm, _ := runDMP(t, "acoustic", shape, topo, halo.ModeDiagonal, 4, 20)
+		if math.Abs(norm-serial.Norm) > 1e-9*math.Max(1, serial.Norm) {
+			t.Errorf("topology %v: norm %v != serial %v", topo, norm, serial.Norm)
+		}
+	}
+}
+
+func TestDMPEquivalence_3DElastic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-D DMP test skipped in -short")
+	}
+	shape := []int{16, 16, 16}
+	serial := runSerial(t, "elastic", shape, 4, 10)
+	norm, _ := runDMP(t, "elastic", shape, []int{2, 2, 1}, halo.ModeFull, 4, 10)
+	if math.Abs(norm-serial.Norm) > 1e-9*math.Max(1, serial.Norm) {
+		t.Errorf("3-D elastic full mode: %v != %v", norm, serial.Norm)
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build("bogus", serialCfg([]int{8, 8}, 2)); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestRunNeedsNTOrTime(t *testing.T) {
+	m, _ := Acoustic(serialCfg([]int{16, 16}, 4))
+	if _, err := Run(m, nil, RunConfig{}); err == nil {
+		t.Error("missing NT and Time should fail")
+	}
+}
+
+func TestRunTimeDerivesNT(t *testing.T) {
+	m, _ := Acoustic(serialCfg([]int{16, 16}, 4))
+	res, err := Run(m, nil, RunConfig{Time: 20 * m.CriticalDt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NT < 20 || res.NT > 22 {
+		t.Errorf("NT = %d, want ~21", res.NT)
+	}
+}
+
+func TestDampFieldProfile(t *testing.T) {
+	m, _ := Acoustic(serialCfg([]int{20, 20}, 2))
+	damp := m.Fields["damp"]
+	// Zero in the deep interior, positive at the faces.
+	if damp.AtDomain(0, 10, 10) != 0 {
+		t.Error("interior damping should be zero")
+	}
+	if damp.AtDomain(0, 0, 10) <= 0 {
+		t.Error("boundary damping should be positive")
+	}
+	if damp.AtDomain(0, 0, 10) <= damp.AtDomain(0, 2, 10) {
+		t.Error("damping should grow towards the face")
+	}
+}
+
+func TestCriticalDtScalesWithSpacing(t *testing.T) {
+	gCoarse := grid.MustNew([]int{16, 16}, []float64{30, 30})
+	gFine := grid.MustNew([]int{16, 16}, []float64{15, 15})
+	if criticalDt(gCoarse, 1.5) <= criticalDt(gFine, 1.5) {
+		t.Error("coarser grids must allow larger dt")
+	}
+}

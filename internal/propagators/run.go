@@ -1,0 +1,183 @@
+package propagators
+
+import (
+	"fmt"
+	"math"
+
+	"devigo/internal/core"
+	"devigo/internal/sparse"
+)
+
+// RunConfig drives a forward simulation of a model.
+type RunConfig struct {
+	// NT is the number of timesteps; if 0, Time (in simulation units)
+	// divided by the critical dt decides.
+	NT int
+	// Time is the simulated duration used when NT == 0.
+	Time float64
+	// DT overrides the critical timestep (0 keeps CriticalDt).
+	DT float64
+	// F0 is the Ricker peak frequency (default derived from the grid).
+	F0 float64
+	// NReceivers is the receiver line length (0 disables receivers).
+	NReceivers int
+	// SourceCoords overrides the default centre source.
+	SourceCoords []float64
+	// Workers / TileRows forward to the executor.
+	Workers  int
+	TileRows int
+}
+
+// RunResult carries the outputs of a forward run.
+type RunResult struct {
+	// NT is the executed step count and DT the timestep used.
+	NT int
+	DT float64
+	// Receivers holds the recorded traces, NT x NReceivers.
+	Receivers [][]float64
+	// Norm is the L2 norm of the first wavefield's final state over the
+	// global domain (all-reduced under DMP) — the cross-run checksum.
+	Norm float64
+	// Perf reports the operator's section timings.
+	Perf core.Perf
+	// Op exposes the compiled operator (generated code, schedule).
+	Op *core.Operator
+}
+
+// Run compiles the model into an operator and executes a forward
+// simulation with a Ricker point source and an optional receiver line.
+// ctx may be nil (serial) or carry one rank of an MPI world.
+func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
+	dt := m.CriticalDt
+	if rc.DT > 0 {
+		dt = rc.DT
+	}
+	nt := rc.NT
+	if nt == 0 {
+		if rc.Time <= 0 {
+			return nil, fmt.Errorf("propagators: RunConfig needs NT or Time")
+		}
+		nt = int(rc.Time/dt) + 1
+	}
+	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx,
+		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows})
+	if err != nil {
+		return nil, err
+	}
+
+	// Source setup.
+	srcCoords := rc.SourceCoords
+	if srcCoords == nil {
+		srcCoords = CenterSource(m.Grid)
+	}
+	src, err := sparse.New("src", m.Grid, [][]float64{srcCoords})
+	if err != nil {
+		return nil, err
+	}
+	f0 := rc.F0
+	if f0 == 0 {
+		// Aim for ~8 points per wavelength: with the CFL relation
+		// dt_c = C*h/v, v/h = C/dt_c, so f0 = (C/8)/dt_c ~ 0.05/dt_c.
+		f0 = 0.05 / m.CriticalDt
+	}
+	t0 := 1.5 / f0
+	wavelet := sparse.RickerWavelet(f0, t0, dt, nt)
+
+	// Injection scale: second-order-in-time models inject dt^2/m (Devito
+	// convention); first-order systems inject dt.
+	first := m.Fields[m.WaveFields[0]]
+	scale := float32(dt)
+	if len(first.Bufs) == 3 {
+		// dt^2 / m with the homogeneous m of the model builders.
+		mval := m.Fields["m"].AtDomain(0, make([]int, m.Grid.NDims())...)
+		scale = float32(dt * dt / float64(mval))
+	}
+
+	var rec *sparse.SparseFunction
+	if rc.NReceivers > 1 {
+		rec, err = sparse.New("rec", m.Grid, ReceiverLine(m.Grid, rc.NReceivers))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &RunResult{NT: nt, DT: dt, Op: op}
+	postStep := func(t int) {
+		val := []float32{wavelet[tIndex(t, nt)] * scale}
+		for _, fname := range m.SourceFields {
+			f := m.Fields[fname]
+			// Inject into the freshly written buffer.
+			_ = src.Inject(f, t+1, val)
+		}
+		if rec != nil {
+			var trace []float64
+			if ctx != nil && ctx.Comm != nil {
+				trace = rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, ctx.Comm)
+			} else {
+				trace = rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, nil)
+			}
+			res.Receivers = append(res.Receivers, trace)
+		}
+	}
+	if err := op.Apply(&core.ApplyOpts{
+		TimeM:    0,
+		TimeN:    nt - 1,
+		Syms:     map[string]float64{"dt": dt},
+		PostStep: postStep,
+	}); err != nil {
+		return nil, err
+	}
+	res.Perf = op.Report()
+	res.Norm = fieldNorm(m, ctx, nt)
+	return res, nil
+}
+
+func tIndex(t, nt int) int {
+	if t < 0 {
+		return 0
+	}
+	if t >= nt {
+		return nt - 1
+	}
+	return t
+}
+
+// fieldNorm computes the global L2 norm of the first wavefield at the
+// final time buffer.
+func fieldNorm(m *Model, ctx *core.Context, nt int) float64 {
+	f := m.Fields[m.WaveFields[0]]
+	dom := f.DomainRegion()
+	tmp := make([]float32, dom.Size())
+	f.Buf(nt).Pack(dom, tmp)
+	sum := 0.0
+	for _, v := range tmp {
+		sum += float64(v) * float64(v)
+	}
+	if ctx != nil && ctx.Comm != nil && ctx.Comm.Size() > 1 {
+		sum = ctx.Comm.AllreduceScalar(sum, addOp)
+	}
+	return math.Sqrt(sum)
+}
+
+func addOp(a, b float64) float64 { return a + b }
+
+// Build constructs a model by name — the dispatch used by the CLI tools
+// and benchmarks.
+func Build(name string, cfg Config) (*Model, error) {
+	switch name {
+	case "acoustic":
+		return Acoustic(cfg)
+	case "tti":
+		return TTI(cfg)
+	case "elastic":
+		return Elastic(cfg)
+	case "viscoelastic":
+		return Viscoelastic(cfg)
+	}
+	return nil, fmt.Errorf("propagators: unknown model %q", name)
+}
+
+// ModelNames lists the four evaluated kernels in paper order.
+func ModelNames() []string {
+	return []string{"acoustic", "elastic", "tti", "viscoelastic"}
+}

@@ -1,0 +1,194 @@
+package propagators
+
+import (
+	"fmt"
+	"math"
+
+	"devigo/internal/field"
+	"devigo/internal/symbolic"
+)
+
+// TTI builds the anisotropic acoustic (tilted transversely isotropic)
+// propagator (paper Section IV-B2, Appendix A2): a coupled system of two
+// scalar wavefields p and q driven by a rotated anisotropic Laplacian,
+//
+//	m*p.dt2 + damp*p.dt = (1+2eps)*Hp(p) + sqrt(1+2delta)*Gzz(q)
+//	m*q.dt2 + damp*q.dt = sqrt(1+2delta)*Hp(p) + Gzz(q)
+//
+// where Gzz is the second directional derivative along the (spatially
+// varying) symmetry axis and Hp = laplace - Gzz. The rotated kernel reads
+// three 2-D planes of neighbours (paper Fig. 6b) and is by far the most
+// arithmetically intensive of the four models.
+//
+// The working set counts 14 fields here: p and q (3 buffers each), m,
+// damp, the two anisotropy parameter fields, and four trigonometric fields
+// (the paper counts 12 by storing theta/phi as two angle grids; devigo's
+// expression language has no trigonometric functions, so sin/cos are
+// precomputed — documented in DESIGN.md).
+func TTI(cfg Config) (*Model, error) {
+	c := cfg.withDefaults()
+	if err := validateShape(&c, 4); err != nil {
+		return nil, err
+	}
+	g, err := makeGrid(&c)
+	if err != nil {
+		return nil, err
+	}
+	so := c.SpaceOrder
+	nd := g.NDims()
+	if nd < 2 {
+		return nil, fmt.Errorf("propagators: TTI needs 2 or 3 dimensions")
+	}
+
+	newTF := func(name string) (*field.TimeFunction, error) {
+		return field.NewTimeFunction(name, g, so, 2, fieldCfg(&c, nil))
+	}
+	newF := func(name string) (*field.Function, error) {
+		return field.NewFunction(name, g, so, fieldCfg(&c, nil))
+	}
+	p, err := newTF("p")
+	if err != nil {
+		return nil, err
+	}
+	q, err := newTF("q")
+	if err != nil {
+		return nil, err
+	}
+	m, err := newF("m")
+	if err != nil {
+		return nil, err
+	}
+	damp, err := newF("damp")
+	if err != nil {
+		return nil, err
+	}
+	epsf, err := newF("epsf") // 1 + 2*epsilon
+	if err != nil {
+		return nil, err
+	}
+	delf, err := newF("delf") // sqrt(1 + 2*delta)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := newF("ct") // cos(theta)
+	if err != nil {
+		return nil, err
+	}
+	st, err := newF("st") // sin(theta)
+	if err != nil {
+		return nil, err
+	}
+	fields := map[string]*field.Function{
+		"p": &p.Function, "q": &q.Function, "m": m, "damp": damp,
+		"epsf": epsf, "delf": delf, "ct": ct, "st": st,
+	}
+	nFields := 12
+	var cp, sp *field.Function
+	if nd == 3 {
+		cp, err = newF("cp") // cos(phi)
+		if err != nil {
+			return nil, err
+		}
+		sp, err = newF("sp") // sin(phi)
+		if err != nil {
+			return nil, err
+		}
+		fields["cp"], fields["sp"] = cp, sp
+		nFields = 14
+	}
+
+	// Homogeneous anisotropic medium with a constant tilt.
+	fillConst(m, float32(1/(c.Velocity*c.Velocity)))
+	dampField(damp, c.NBL, 0.1)
+	eps, delta := 0.2, 0.1
+	theta := math.Pi / 8
+	fillConst(epsf, float32(1+2*eps))
+	fillConst(delf, float32(math.Sqrt(1+2*delta)))
+	fillConst(ct, float32(math.Cos(theta)))
+	fillConst(st, float32(math.Sin(theta)))
+	if nd == 3 {
+		phi := math.Pi / 6
+		fillConst(cp, float32(math.Cos(phi)))
+		fillConst(sp, float32(math.Sin(phi)))
+	}
+
+	// axisCoeff[d] is the direction-cosine field expression of the
+	// symmetry axis for dimension d.
+	axisCoeff := func(d int) symbolic.Expr {
+		if nd == 2 {
+			// Axis in the x-z plane: (sin t, cos t).
+			if d == 0 {
+				return symbolic.At(st.Ref)
+			}
+			return symbolic.At(ct.Ref)
+		}
+		switch d {
+		case 0:
+			return symbolic.NewMul(symbolic.At(st.Ref), symbolic.At(cp.Ref))
+		case 1:
+			return symbolic.NewMul(symbolic.At(st.Ref), symbolic.At(sp.Ref))
+		default:
+			return symbolic.At(ct.Ref)
+		}
+	}
+	// Gzz(u) = sum_d D_d( a_d * sum_e a_e D_e u ): the rotated second
+	// derivative, self-adjoint discretisation (paper eq. 2).
+	gzz := func(u symbolic.Expr) symbolic.Expr {
+		var du []symbolic.Expr
+		for e := 0; e < nd; e++ {
+			du = append(du, symbolic.NewMul(axisCoeff(e), symbolic.Dx(u, e, so)))
+		}
+		axis := symbolic.NewAdd(du...)
+		var outer []symbolic.Expr
+		for d := 0; d < nd; d++ {
+			outer = append(outer, symbolic.Dx(symbolic.NewMul(axisCoeff(d), axis), d, so))
+		}
+		return symbolic.NewAdd(outer...)
+	}
+	hp := func(u symbolic.Expr) symbolic.Expr {
+		return symbolic.Sub(symbolic.Laplace(u, nd, so), gzz(u))
+	}
+
+	pt := symbolic.At(p.Ref)
+	qt := symbolic.At(q.Ref)
+	lhsP := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(m.Ref), symbolic.Dt2(pt, 2)),
+		symbolic.NewMul(symbolic.At(damp.Ref), symbolic.Dt(pt, 2)),
+	)
+	rhsP := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(epsf.Ref), hp(pt)),
+		symbolic.NewMul(symbolic.At(delf.Ref), gzz(qt)),
+	)
+	lhsQ := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(m.Ref), symbolic.Dt2(qt, 2)),
+		symbolic.NewMul(symbolic.At(damp.Ref), symbolic.Dt(qt, 2)),
+	)
+	rhsQ := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(delf.Ref), hp(pt)),
+		gzz(qt),
+	)
+	solP, err := symbolic.Solve(symbolic.Eq{LHS: lhsP, RHS: rhsP}, symbolic.ForwardStencil(p.Ref))
+	if err != nil {
+		return nil, err
+	}
+	solQ, err := symbolic.Solve(symbolic.Eq{LHS: lhsQ, RHS: rhsQ}, symbolic.ForwardStencil(q.Ref))
+	if err != nil {
+		return nil, err
+	}
+
+	vmaxAniso := c.Velocity * math.Sqrt(1+2*eps)
+	return &Model{
+		Name:       "tti",
+		Grid:       g,
+		SpaceOrder: so,
+		Eqs: []symbolic.Eq{
+			{LHS: symbolic.ForwardStencil(p.Ref), RHS: solP},
+			{LHS: symbolic.ForwardStencil(q.Ref), RHS: solQ},
+		},
+		Fields:           fields,
+		WaveFields:       []string{"p", "q"},
+		SourceFields:     []string{"p", "q"},
+		CriticalDt:       criticalDt(g, vmaxAniso) * 0.7,
+		WorkingSetFields: nFields,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package runtime
+
+import (
+	"sync"
+)
+
+// stackCap bounds expression depth; TTI kernels stay far below this.
+const stackCap = 256
+
+// tempCap bounds the per-point CSE temporary register file.
+const tempCap = 512
+
+// ExecOpts tunes kernel execution.
+type ExecOpts struct {
+	// Workers is the number of parallel workers (simulated OpenMP
+	// threads); <=1 runs sequentially.
+	Workers int
+	// TileRows is the number of outer-dimension rows per tile; the
+	// Progress hook runs between tiles. <=0 disables tiling (one tile).
+	TileRows int
+	// Progress is prodded between tiles (full mode's MPI_Test call site).
+	Progress func()
+}
+
+// Box is a half-open iteration box in domain-relative coordinates
+// (0 = first owned point per dimension).
+type Box struct {
+	Lo, Hi []int
+}
+
+// Size returns the point count of the box.
+func (b Box) Size() int {
+	n := 1
+	for d := range b.Lo {
+		e := b.Hi[d] - b.Lo[d]
+		if e <= 0 {
+			return 0
+		}
+		n *= e
+	}
+	return n
+}
+
+// Empty reports whether the box has no points.
+func (b Box) Empty() bool { return b.Size() == 0 }
+
+// Run executes every equation of the kernel at every point of the box for
+// logical timestep t, with scalars bound via syms (from BindSyms). Points
+// run in row-major order; equations run in program order at each point.
+func (k *Kernel) Run(t int, b Box, syms []float64, opts *ExecOpts) {
+	if b.Empty() {
+		return
+	}
+	workers, tileRows := 1, 0
+	var progress func()
+	if opts != nil {
+		if opts.Workers > 1 {
+			workers = opts.Workers
+		}
+		tileRows = opts.TileRows
+		progress = opts.Progress
+	}
+	// Resolve per-(field,timeOff) data slices once per step.
+	type binding struct {
+		data []float32
+	}
+	slotData := make([][]float32, len(k.slots))
+	for i, s := range k.slots {
+		slotData[i] = k.Fields[s.fieldIdx].Buf(t + s.timeOff).Data
+	}
+	outData := make([][]float32, len(k.Eqs))
+	for i, e := range k.Eqs {
+		outData[i] = k.Fields[e.outField].Buf(t + e.outTimeOff).Data
+	}
+
+	nd := len(b.Lo)
+	outer := b.Hi[0] - b.Lo[0]
+	if tileRows <= 0 || tileRows > outer {
+		tileRows = outer
+	}
+	type tile struct{ lo, hi int }
+	var tiles []tile
+	for lo := b.Lo[0]; lo < b.Hi[0]; lo += tileRows {
+		hi := lo + tileRows
+		if hi > b.Hi[0] {
+			hi = b.Hi[0]
+		}
+		tiles = append(tiles, tile{lo, hi})
+	}
+
+	runTile := func(tl tile) {
+		// Odometer over dims 0..nd-2 within the tile; innermost dim is the
+		// contiguous row.
+		idx := make([]int, nd)
+		copy(idx, b.Lo)
+		idx[0] = tl.lo
+		bases := make([]int, len(k.Fields))
+		rowLen := b.Hi[nd-1] - b.Lo[nd-1]
+		if nd == 1 {
+			// Dim 0 is both the tiled and the contiguous dimension.
+			rowLen = tl.hi - tl.lo
+		}
+		var stack [stackCap]float64
+		var temps [tempCap]float64
+		exec := func(e *CompiledEq, x int) float64 {
+			sp := 0
+			for pi := range e.prog {
+				in := &e.prog[pi]
+				switch in.op {
+				case opConst:
+					stack[sp] = in.v
+					sp++
+				case opSym:
+					stack[sp] = syms[in.a]
+					sp++
+				case opTemp:
+					stack[sp] = temps[in.a]
+					sp++
+				case opLoad:
+					s := &k.slots[in.a]
+					stack[sp] = float64(slotData[in.a][bases[s.fieldIdx]+x+s.flatOff])
+					sp++
+				case opAdd:
+					n := in.a
+					acc := stack[sp-n]
+					for j := sp - n + 1; j < sp; j++ {
+						acc += stack[j]
+					}
+					sp -= n - 1
+					stack[sp-1] = acc
+				case opMul:
+					n := in.a
+					acc := stack[sp-n]
+					for j := sp - n + 1; j < sp; j++ {
+						acc *= stack[j]
+					}
+					sp -= n - 1
+					stack[sp-1] = acc
+				case opPow:
+					v := stack[sp-1]
+					stack[sp-1] = ipow(v, in.a)
+				}
+			}
+			return stack[0]
+		}
+		for {
+			// Row start base per field (domain-relative -> buffer index).
+			for fi, f := range k.Fields {
+				base := 0
+				for d := 0; d < nd; d++ {
+					base += (idx[d] + f.Halo[d]) * f.Bufs[0].Strides[d]
+				}
+				bases[fi] = base
+			}
+			for x := 0; x < rowLen; x++ {
+				for ti := range k.Temps {
+					temps[ti] = exec(&k.Temps[ti], x)
+				}
+				for ei := range k.Eqs {
+					e := &k.Eqs[ei]
+					outData[ei][bases[e.outField]+x] = float32(exec(e, x))
+				}
+			}
+			// Advance the odometer over dims nd-2 .. 0 (dim 0 bounded by
+			// the tile).
+			d := nd - 2
+			for ; d >= 0; d-- {
+				idx[d]++
+				limit := b.Hi[d]
+				if d == 0 {
+					limit = tl.hi
+				}
+				if idx[d] < limit {
+					break
+				}
+				if d == 0 {
+					break
+				}
+				idx[d] = b.Lo[d]
+			}
+			if d < 0 {
+				// 1-D box: single row done.
+				break
+			}
+			if d == 0 && idx[0] >= tl.hi {
+				break
+			}
+		}
+	}
+
+	// slotData is indexed per slot, but opLoad uses in.a as both slot and
+	// data index; they are the same by construction above.
+	if workers <= 1 {
+		for _, tl := range tiles {
+			runTile(tl)
+			if progress != nil {
+				progress()
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan tile, len(tiles))
+	for _, tl := range tiles {
+		work <- tl
+	}
+	close(work)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(isFirst bool) {
+			defer wg.Done()
+			for tl := range work {
+				runTile(tl)
+				// One worker doubles as the progress engine, mirroring the
+				// sacrificed OpenMP thread of the paper's full mode.
+				if isFirst && progress != nil {
+					progress()
+				}
+			}
+		}(wkr == 0)
+	}
+	wg.Wait()
+}
+
+func ipow(v float64, e int) float64 {
+	if e == 0 {
+		return 1
+	}
+	neg := e < 0
+	if neg {
+		e = -e
+	}
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= v
+	}
+	if neg {
+		return 1 / out
+	}
+	return out
+}

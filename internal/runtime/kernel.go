@@ -1,0 +1,258 @@
+// Package runtime executes compiled stencil kernels: the devigo equivalent
+// of the JIT-compiled C code. Clusters are compiled to a compact
+// stack-machine program per equation; the executor runs the program over a
+// tiled loop nest with optional worker-pool parallelism (the stand-in for
+// OpenMP threads) and a progress hook between tiles (the stand-in for the
+// MPI_Test prods of the full communication pattern).
+package runtime
+
+import (
+	"fmt"
+
+	"devigo/internal/field"
+	"devigo/internal/ir"
+	"devigo/internal/symbolic"
+)
+
+// Opcodes of the stencil VM.
+const (
+	opConst byte = iota // push literal v
+	opSym               // push bound scalar syms[a]
+	opLoad              // push field value via slot a
+	opAdd               // pop a values, push their sum
+	opMul               // pop a values, push their product
+	opPow               // pop base, push base**a (integer exponent)
+	opTemp              // push per-point temporary temps[a]
+)
+
+type instr struct {
+	op byte
+	a  int
+	v  float64
+}
+
+// slot is a resolved field access: which function, which time offset, and
+// the flat buffer displacement of the stencil offset.
+type slot struct {
+	fieldIdx int
+	timeOff  int
+	flatOff  int
+}
+
+// CompiledEq is one lowered equation ready to execute.
+type CompiledEq struct {
+	outField   int
+	outTimeOff int
+	prog       []instr
+	maxStack   int
+	flops      int
+}
+
+// Kernel is a compiled cluster: every equation of one fused loop nest.
+type Kernel struct {
+	Fields []*field.Function
+	names  []string
+	Eqs    []CompiledEq
+	slots  []slot
+	// Temps are per-point scalar temporaries (CSE extractions), executed
+	// in order before the equations at every point; temps[i] receives the
+	// result of Temps[i].
+	Temps []CompiledEq
+	// SymNames maps the bound-scalar vector: syms[i] carries the value of
+	// SymNames[i] at execution time.
+	SymNames []string
+	// Radius is the stencil radius per dimension (halo requirement).
+	Radius []int
+}
+
+// CompileCluster resolves a cluster against concrete field storage.
+// The fields map must contain every function referenced by the cluster.
+func CompileCluster(c *ir.Cluster, fields map[string]*field.Function) (*Kernel, error) {
+	return CompileNest(nil, c.Eqs, c.Radius, fields)
+}
+
+// CompileNest compiles the *optimized* form of a loop nest: per-point CSE
+// temporaries (assigns) followed by the update equations. Scalar symbols
+// that match an assign name compile to temporary-register reads; all other
+// symbols (including hoisted invariants) are bound at execution time via
+// BindSyms.
+func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
+	fields map[string]*field.Function) (*Kernel, error) {
+	k := &Kernel{Radius: append([]int(nil), radius...)}
+	fieldIdx := map[string]int{}
+	symIdx := map[string]int{}
+	slotIdx := map[slot]int{}
+	tempIdx := map[string]int{}
+	for i, a := range assigns {
+		tempIdx[a.Name] = i
+	}
+
+	getField := func(name string) (int, error) {
+		if i, ok := fieldIdx[name]; ok {
+			return i, nil
+		}
+		f, ok := fields[name]
+		if !ok {
+			return 0, fmt.Errorf("runtime: no storage registered for field %q", name)
+		}
+		i := len(k.Fields)
+		fieldIdx[name] = i
+		k.Fields = append(k.Fields, f)
+		k.names = append(k.names, name)
+		return i, nil
+	}
+	getSym := func(name string) int {
+		if i, ok := symIdx[name]; ok {
+			return i
+		}
+		i := len(k.SymNames)
+		symIdx[name] = i
+		k.SymNames = append(k.SymNames, name)
+		return i
+	}
+	getSlot := func(s slot) int {
+		if i, ok := slotIdx[s]; ok {
+			return i
+		}
+		i := len(k.slots)
+		slotIdx[s] = i
+		k.slots = append(k.slots, s)
+		return i
+	}
+
+	var compile func(e symbolic.Expr, prog *[]instr, depth int, maxDepth *int) error
+	compile = func(e symbolic.Expr, prog *[]instr, depth int, maxDepth *int) error {
+		bump := func(d int) {
+			if d > *maxDepth {
+				*maxDepth = d
+			}
+		}
+		switch v := e.(type) {
+		case symbolic.Num:
+			f, _ := v.Val.Float64()
+			*prog = append(*prog, instr{op: opConst, v: f})
+			bump(depth + 1)
+		case symbolic.Sym:
+			if ti, ok := tempIdx[v.Name]; ok {
+				*prog = append(*prog, instr{op: opTemp, a: ti})
+			} else {
+				*prog = append(*prog, instr{op: opSym, a: getSym(v.Name)})
+			}
+			bump(depth + 1)
+		case symbolic.Access:
+			fi, err := getField(v.Fun.Name)
+			if err != nil {
+				return err
+			}
+			f := k.Fields[fi]
+			flat := 0
+			for d, o := range v.Off {
+				flat += o * f.Bufs[0].Strides[d]
+			}
+			*prog = append(*prog, instr{op: opLoad, a: getSlot(slot{fieldIdx: fi, timeOff: v.TimeOff, flatOff: flat})})
+			bump(depth + 1)
+		case symbolic.Add:
+			// Binary accumulation keeps the stack depth proportional to
+			// tree depth rather than term count (3-D TTI sums have
+			// hundreds of terms).
+			for i, t := range v.Terms {
+				d := depth
+				if i > 0 {
+					d = depth + 1
+				}
+				if err := compile(t, prog, d, maxDepth); err != nil {
+					return err
+				}
+				if i > 0 {
+					*prog = append(*prog, instr{op: opAdd, a: 2})
+				}
+			}
+		case symbolic.Mul:
+			for i, f := range v.Factors {
+				d := depth
+				if i > 0 {
+					d = depth + 1
+				}
+				if err := compile(f, prog, d, maxDepth); err != nil {
+					return err
+				}
+				if i > 0 {
+					*prog = append(*prog, instr{op: opMul, a: 2})
+				}
+			}
+		case symbolic.Pow:
+			if err := compile(v.Base, prog, depth, maxDepth); err != nil {
+				return err
+			}
+			*prog = append(*prog, instr{op: opPow, a: v.Exp})
+		case symbolic.Deriv:
+			return fmt.Errorf("runtime: unexpanded derivative reached codegen: %s", v)
+		default:
+			return fmt.Errorf("runtime: cannot compile %T", e)
+		}
+		return nil
+	}
+
+	for _, a := range assigns {
+		ce := CompiledEq{flops: symbolic.FlopCount(a.Value)}
+		if err := compile(a.Value, &ce.prog, 0, &ce.maxStack); err != nil {
+			return nil, err
+		}
+		if ce.maxStack > stackCap {
+			return nil, fmt.Errorf("runtime: temporary too deep (stack %d > %d)", ce.maxStack, stackCap)
+		}
+		k.Temps = append(k.Temps, ce)
+	}
+	if len(k.Temps) > tempCap {
+		return nil, fmt.Errorf("runtime: too many per-point temporaries (%d > %d)", len(k.Temps), tempCap)
+	}
+	for _, eq := range eqs {
+		lhs := eq.LHS.(symbolic.Access)
+		fi, err := getField(lhs.Fun.Name)
+		if err != nil {
+			return nil, err
+		}
+		ce := CompiledEq{outField: fi, outTimeOff: lhs.TimeOff, flops: symbolic.FlopCount(eq.RHS)}
+		if err := compile(eq.RHS, &ce.prog, 0, &ce.maxStack); err != nil {
+			return nil, err
+		}
+		if ce.maxStack > stackCap {
+			return nil, fmt.Errorf("runtime: expression too deep (stack %d > %d)", ce.maxStack, stackCap)
+		}
+		k.Eqs = append(k.Eqs, ce)
+	}
+	// Validate that all fields share the local domain shape; differing halo
+	// widths are fine (strides already baked into flat offsets).
+	for i := 1; i < len(k.Fields); i++ {
+		for d := range k.Fields[0].LocalShape {
+			if k.Fields[i].LocalShape[d] != k.Fields[0].LocalShape[d] {
+				return nil, fmt.Errorf("runtime: fields %s and %s disagree on local shape",
+					k.names[0], k.names[i])
+			}
+		}
+	}
+	return k, nil
+}
+
+// FlopsPerPoint reports the per-point flop cost of the compiled kernel.
+func (k *Kernel) FlopsPerPoint() int {
+	n := 0
+	for _, e := range k.Eqs {
+		n += e.flops + 1
+	}
+	return n
+}
+
+// BindSyms builds the scalar binding vector from a name->value map,
+// erroring on missing entries.
+func (k *Kernel) BindSyms(vals map[string]float64) ([]float64, error) {
+	out := make([]float64, len(k.SymNames))
+	for i, n := range k.SymNames {
+		v, ok := vals[n]
+		if !ok {
+			return nil, fmt.Errorf("runtime: unbound scalar symbol %q", n)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package symbolic
+
+import (
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Collect normalises an expression into a canonical sum-of-products form:
+// like terms are merged (their rational coefficients added), factors inside
+// each product are sorted, and zero terms are dropped. Collect is the
+// workhorse behind Equal, Solve and the flop-reduction passes.
+func Collect(e Expr) Expr {
+	e = expandProducts(e)
+	terms := addTerms(e)
+	type entry struct {
+		coef *big.Rat
+		rest []Expr // sorted non-numeric factors
+		key  string
+	}
+	merged := map[string]*entry{}
+	var order []string
+	for _, t := range terms {
+		coef, rest := splitCoef(t)
+		key := productKey(rest)
+		if ent, ok := merged[key]; ok {
+			ent.coef.Add(ent.coef, coef)
+		} else {
+			merged[key] = &entry{coef: coef, rest: rest, key: key}
+			order = append(order, key)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Expr, 0, len(order))
+	for _, key := range order {
+		ent := merged[key]
+		if ent.coef.Sign() == 0 {
+			continue
+		}
+		factors := make([]Expr, 0, len(ent.rest)+1)
+		one := big.NewRat(1, 1)
+		if ent.coef.Cmp(one) != 0 || len(ent.rest) == 0 {
+			factors = append(factors, Num{Val: ent.coef})
+		}
+		factors = append(factors, ent.rest...)
+		out = append(out, NewMul(factors...))
+	}
+	return NewAdd(out...)
+}
+
+// expandProducts distributes products over sums so that the whole tree
+// becomes a flat sum of products: (a+b)*c -> a*c + b*c. Pow with positive
+// small exponents of sums is expanded by repeated multiplication.
+func expandProducts(e Expr) Expr {
+	switch v := e.(type) {
+	case Add:
+		terms := make([]Expr, len(v.Terms))
+		for i, t := range v.Terms {
+			terms[i] = expandProducts(t)
+		}
+		return NewAdd(terms...)
+	case Mul:
+		// Expand children first.
+		factors := make([]Expr, len(v.Factors))
+		for i, f := range v.Factors {
+			factors[i] = expandProducts(f)
+		}
+		// Distribute left to right.
+		acc := []Expr{Int(1)}
+		for _, f := range factors {
+			var fTerms []Expr
+			if a, ok := f.(Add); ok {
+				fTerms = a.Terms
+			} else {
+				fTerms = []Expr{f}
+			}
+			next := make([]Expr, 0, len(acc)*len(fTerms))
+			for _, a := range acc {
+				for _, b := range fTerms {
+					next = append(next, NewMul(a, b))
+				}
+			}
+			acc = next
+		}
+		return NewAdd(acc...)
+	case Pow:
+		base := expandProducts(v.Base)
+		if a, ok := base.(Add); ok && v.Exp > 1 && v.Exp <= 4 {
+			prod := Expr(a)
+			for i := 1; i < v.Exp; i++ {
+				prod = expandProducts(NewMul(prod, a))
+			}
+			return prod
+		}
+		return NewPow(base, v.Exp)
+	case Deriv:
+		return Deriv{Target: expandProducts(v.Target), Dim: v.Dim, Order: v.Order, FDOrder: v.FDOrder, Side: v.Side}
+	default:
+		return e
+	}
+}
+
+// addTerms returns the additive terms of e (e itself if not a sum).
+func addTerms(e Expr) []Expr {
+	if a, ok := e.(Add); ok {
+		return a.Terms
+	}
+	return []Expr{e}
+}
+
+// splitCoef splits a term into its rational coefficient and the remaining
+// sorted factors.
+func splitCoef(t Expr) (*big.Rat, []Expr) {
+	coef := big.NewRat(1, 1)
+	var rest []Expr
+	factors := []Expr{t}
+	if m, ok := t.(Mul); ok {
+		factors = m.Factors
+	}
+	for _, f := range factors {
+		if n, ok := f.(Num); ok {
+			coef.Mul(coef, n.Val)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].String() < rest[j].String() })
+	return coef, rest
+}
+
+func productKey(rest []Expr) string {
+	parts := make([]string, len(rest))
+	for i, r := range rest {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+// CoefficientOf returns (a, b) such that Collect(e) == a*target + b, where
+// target does not occur inside b and a is free of target. It returns ok=false
+// if e is non-linear in target (target appears squared or inside a Pow).
+// target is matched structurally (canonical string form).
+func CoefficientOf(e Expr, target Expr) (a, b Expr, ok bool) {
+	tkey := target.String()
+	e = Collect(e)
+	var aTerms, bTerms []Expr
+	for _, t := range addTerms(e) {
+		coef, rest := splitCoef(t)
+		cnt := 0
+		var others []Expr
+		for _, r := range rest {
+			if r.String() == tkey {
+				cnt++
+			} else {
+				// Non-linearity hidden in a Pow of target.
+				if p, isPow := r.(Pow); isPow && p.Base.String() == tkey {
+					return nil, nil, false
+				}
+				others = append(others, r)
+			}
+		}
+		switch cnt {
+		case 0:
+			bTerms = append(bTerms, t)
+		case 1:
+			factors := append([]Expr{Num{Val: coef}}, others...)
+			aTerms = append(aTerms, NewMul(factors...))
+		default:
+			return nil, nil, false
+		}
+	}
+	return NewAdd(aTerms...), NewAdd(bTerms...), true
+}
+
+// Solve solves eq (interpreted as LHS - RHS = 0) for target, which must
+// appear linearly. It mirrors Devito's `solve(eq, u.forward)`.
+func Solve(eq Eq, target Expr) (Expr, error) {
+	zeroed := Sub(eq.LHS, eq.RHS)
+	// Time derivatives must be expanded so the target access (u at t+1)
+	// becomes visible; spatial derivatives stay symbolic so later passes
+	// (CIRE) can still see their structure.
+	zeroed = ExpandTimeDerivatives(zeroed)
+	a, b, ok := CoefficientOf(zeroed, target)
+	if !ok {
+		return nil, &SolveError{Target: target.String(), Reason: "equation is non-linear in target"}
+	}
+	if isZero(a) {
+		return nil, &SolveError{Target: target.String(), Reason: "target does not appear in equation"}
+	}
+	// solution = -b / a
+	return Collect(Div(Neg(b), a)), nil
+}
+
+// SolveError reports why a symbolic solve failed.
+type SolveError struct {
+	Target string
+	Reason string
+}
+
+func (e *SolveError) Error() string {
+	return "symbolic: cannot solve for " + e.Target + ": " + e.Reason
+}
+
+func isZero(e Expr) bool {
+	n, ok := e.(Num)
+	return ok && n.Val.Sign() == 0
+}

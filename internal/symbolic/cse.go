@@ -1,0 +1,147 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is a scalar temporary produced by CSE / invariant hoisting:
+// Name = Value.
+type Assignment struct {
+	Name  string
+	Value Expr
+}
+
+// HoistInvariants extracts maximal subexpressions that contain no Access and
+// no time-varying quantity — pure functions of scalar symbols such as
+// 1/(h_x*h_x) — into temporaries evaluated once outside all loops. It mirrors
+// the loop-invariant code motion pass of the Devito Cluster layer (the r0,
+// r1, r2 temporaries of paper Listing 11).
+func HoistInvariants(exprs []Expr, nextTemp *int) ([]Assignment, []Expr) {
+	var assigns []Assignment
+	seen := map[string]string{} // canonical form -> temp name
+	rewrite := func(e Expr) Expr {
+		return Transform(e, func(n Expr) Expr {
+			if !worthHoisting(n) {
+				return n
+			}
+			key := n.String()
+			if name, ok := seen[key]; ok {
+				return S(name)
+			}
+			name := fmt.Sprintf("r%d", *nextTemp)
+			*nextTemp++
+			seen[key] = name
+			assigns = append(assigns, Assignment{Name: name, Value: n})
+			return S(name)
+		})
+	}
+	out := make([]Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = rewrite(e)
+	}
+	return assigns, out
+}
+
+// worthHoisting reports whether n is an invariant compound expression whose
+// evaluation costs at least one flop.
+func worthHoisting(n Expr) bool {
+	switch n.(type) {
+	case Mul, Pow, Add:
+	default:
+		return false
+	}
+	if FlopCount(n) < 1 {
+		return false
+	}
+	invariant := true
+	Walk(n, func(c Expr) bool {
+		switch c.(type) {
+		case Access, Deriv:
+			invariant = false
+			return false
+		}
+		return true
+	})
+	return invariant
+}
+
+// CSE performs common-subexpression elimination across a set of expressions:
+// compound subexpressions that occur at least twice (by canonical form) are
+// extracted into shared temporaries, innermost first. Temporaries may
+// reference fields and are therefore evaluated inside the loop nest, unlike
+// HoistInvariants results.
+func CSE(exprs []Expr, nextTemp *int) ([]Assignment, []Expr) {
+	counts := map[string]int{}
+	reprs := map[string]Expr{}
+	var count func(e Expr)
+	count = func(e Expr) {
+		switch v := e.(type) {
+		case Add:
+			for _, t := range v.Terms {
+				count(t)
+			}
+		case Mul:
+			for _, f := range v.Factors {
+				count(f)
+			}
+		case Pow:
+			count(v.Base)
+		}
+		if isCompound(e) && FlopCount(e) >= 2 {
+			k := e.String()
+			counts[k]++
+			reprs[k] = e
+		}
+	}
+	for _, e := range exprs {
+		count(e)
+	}
+	// Candidates in deterministic order, smallest (innermost) first so that
+	// later extractions can reference earlier temporaries.
+	var keys []string
+	for k, c := range counts {
+		if c >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	var assigns []Assignment
+	names := map[string]string{}
+	replace := func(e Expr) Expr {
+		return Transform(e, func(n Expr) Expr {
+			if !isCompound(n) {
+				return n
+			}
+			if name, ok := names[n.String()]; ok {
+				return S(name)
+			}
+			return n
+		})
+	}
+	for _, k := range keys {
+		val := replace(reprs[k])
+		name := fmt.Sprintf("r%d", *nextTemp)
+		*nextTemp++
+		names[k] = name
+		assigns = append(assigns, Assignment{Name: name, Value: val})
+	}
+	out := make([]Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = replace(e)
+	}
+	return assigns, out
+}
+
+func isCompound(e Expr) bool {
+	switch e.(type) {
+	case Add, Mul, Pow:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env supplies numeric values for evaluation: scalar symbol bindings and a
+// resolver for function accesses. Used by tests and the reference (unfused)
+// interpreter to cross-check compiled plans.
+type Env struct {
+	Syms map[string]float64
+	// Field returns the value of fun at the given time offset and absolute
+	// point coordinates plus the access offsets already applied by the
+	// caller of Eval.
+	Field func(fun *FuncRef, timeOff int, off []int) float64
+}
+
+// Eval numerically evaluates an expression. Derivative nodes must have been
+// expanded first. Unknown symbols evaluate to NaN so mistakes surface in
+// tests rather than silently producing zeros.
+func Eval(e Expr, env *Env) float64 {
+	switch v := e.(type) {
+	case Num:
+		f, _ := v.Val.Float64()
+		return f
+	case Sym:
+		if val, ok := env.Syms[v.Name]; ok {
+			return val
+		}
+		return math.NaN()
+	case Access:
+		if env.Field == nil {
+			return math.NaN()
+		}
+		return env.Field(v.Fun, v.TimeOff, v.Off)
+	case Add:
+		sum := 0.0
+		for _, t := range v.Terms {
+			sum += Eval(t, env)
+		}
+		return sum
+	case Mul:
+		prod := 1.0
+		for _, f := range v.Factors {
+			prod *= Eval(f, env)
+		}
+		return prod
+	case Pow:
+		return math.Pow(Eval(v.Base, env), float64(v.Exp))
+	case Deriv:
+		return Eval(expandDeriv(v), env)
+	default:
+		return math.NaN()
+	}
+}
+
+// Convenience derivative constructors mirroring the Devito API surface.
+
+// Dt returns the first time derivative of e at accuracy tOrder.
+func Dt(e Expr, tOrder int) Expr { return Deriv{Target: e, Dim: -1, Order: 1, FDOrder: tOrder} }
+
+// Dt2 returns the second time derivative of e at accuracy tOrder.
+func Dt2(e Expr, tOrder int) Expr { return Deriv{Target: e, Dim: -1, Order: 2, FDOrder: tOrder} }
+
+// Dx returns the first space derivative along dim at accuracy so.
+func Dx(e Expr, dim, so int) Expr { return Deriv{Target: e, Dim: dim, Order: 1, FDOrder: so} }
+
+// Dx2 returns the second space derivative along dim at accuracy so.
+func Dx2(e Expr, dim, so int) Expr { return Deriv{Target: e, Dim: dim, Order: 2, FDOrder: so} }
+
+// DxStaggered returns a staggered first derivative along dim: side=+1
+// evaluates between nodes at +1/2, side=-1 at -1/2.
+func DxStaggered(e Expr, dim, so, side int) Expr {
+	return Deriv{Target: e, Dim: dim, Order: 1, FDOrder: so, Side: side}
+}
+
+// Laplace returns the sum of second derivatives over ndims dimensions.
+func Laplace(e Expr, ndims, so int) Expr {
+	terms := make([]Expr, ndims)
+	for d := 0; d < ndims; d++ {
+		terms[d] = Dx2(e, d, so)
+	}
+	return NewAdd(terms...)
+}
+
+// ForwardStencil convenience: the access u[t+1, x, y, ...].
+func ForwardStencil(f *FuncRef) Access {
+	return Access{Fun: f, TimeOff: 1, Off: make([]int, f.NDims)}
+}
+
+// At returns the centered access u[t, x, y, ...].
+func At(f *FuncRef) Access {
+	return Access{Fun: f, TimeOff: 0, Off: make([]int, f.NDims)}
+}
+
+// Backward returns the access u[t-1, x, y, ...].
+func Backward(f *FuncRef) Access {
+	return Access{Fun: f, TimeOff: -1, Off: make([]int, f.NDims)}
+}
+
+// Shifted returns an access displaced by off (copied).
+func Shifted(f *FuncRef, timeOff int, off ...int) Access {
+	if len(off) != f.NDims {
+		panic(fmt.Sprintf("symbolic: %s expects %d offsets, got %d", f.Name, f.NDims, len(off)))
+	}
+	o := make([]int, len(off))
+	copy(o, off)
+	return Access{Fun: f, TimeOff: timeOff, Off: o}
+}
+
+// StencilRadius returns the maximum absolute space offset per dimension over
+// all accesses of the expression — the halo the expression's reads require.
+func StencilRadius(e Expr, ndims int) []int {
+	radius := make([]int, ndims)
+	Walk(e, func(n Expr) bool {
+		if a, ok := n.(Access); ok {
+			for d := 0; d < len(a.Off) && d < ndims; d++ {
+				if a.Off[d] > radius[d] {
+					radius[d] = a.Off[d]
+				}
+				if -a.Off[d] > radius[d] {
+					radius[d] = -a.Off[d]
+				}
+			}
+		}
+		return true
+	})
+	return radius
+}
+
+// FlopCount estimates the floating point operations needed to evaluate e
+// once: one op per addition/multiplication edge, |exp| for powers. Used by
+// the performance model and the BENCH-style reports.
+func FlopCount(e Expr) int {
+	switch v := e.(type) {
+	case Add:
+		n := len(v.Terms) - 1
+		for _, t := range v.Terms {
+			n += FlopCount(t)
+		}
+		return n
+	case Mul:
+		n := len(v.Factors) - 1
+		for _, f := range v.Factors {
+			n += FlopCount(f)
+		}
+		return n
+	case Pow:
+		n := v.Exp
+		if n < 0 {
+			n = -n
+		}
+		return n + FlopCount(v.Base)
+	case Deriv:
+		return FlopCount(expandDeriv(v))
+	default:
+		return 0
+	}
+}

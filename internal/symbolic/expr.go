@@ -1,0 +1,396 @@
+// Package symbolic implements the expression algebra that devigo operators
+// are written in: a small computer-algebra system covering exactly the
+// subset of SymPy that the Devito compiler relies on — rational arithmetic,
+// flattening/collection, linear solves, and finite-difference expansion of
+// derivative nodes.
+package symbolic
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Expr is a symbolic expression node. Expressions are immutable: every
+// transformation returns a new tree.
+type Expr interface {
+	// String renders a human-readable (and canonical, for identical trees)
+	// form of the expression.
+	String() string
+	// isExpr is a marker to keep the implementing set closed.
+	isExpr()
+}
+
+// Num is an exact rational constant.
+type Num struct {
+	Val *big.Rat
+}
+
+// Sym is a free scalar symbol such as a grid spacing h_x or the timestep dt.
+type Sym struct {
+	Name string
+}
+
+// Access is a read or write of a discrete function at integer offsets from
+// the current iteration point. TimeOff is the offset on the stepping
+// dimension (meaningless for time-invariant functions); Off holds one entry
+// per space dimension.
+type Access struct {
+	Fun     *FuncRef
+	TimeOff int
+	Off     []int
+}
+
+// FuncRef identifies a discrete function symbolically. The compiler resolves
+// it to storage later; symbolic only needs its name and dimensionality.
+type FuncRef struct {
+	Name    string
+	NDims   int  // number of space dimensions
+	IsTime  bool // varies over the stepping dimension
+	NumBufs int  // time buffers (time functions only)
+	// Stagger records a half-cell shift per space dimension (0 or 1, in
+	// units of half spacings). Used by staggered-grid propagators.
+	Stagger []int
+}
+
+// Add is an n-ary sum.
+type Add struct {
+	Terms []Expr
+}
+
+// Mul is an n-ary product.
+type Mul struct {
+	Factors []Expr
+}
+
+// Pow is base**exp with integer exponent (negative allowed).
+type Pow struct {
+	Base Expr
+	Exp  int
+}
+
+// Deriv is an unexpanded derivative of Target with respect to a dimension.
+// Dim==-1 denotes the time dimension. FDOrder is the discretisation
+// (space/time) order to use when the derivative is expanded to a stencil.
+type Deriv struct {
+	Target  Expr
+	Dim     int
+	Order   int // derivative order (1 = first derivative, ...)
+	FDOrder int // accuracy order of the finite-difference approximation
+	// Side selects a one-sided/staggered expansion: 0 centered, +1 forward
+	// half-node, -1 backward half-node (staggered grids).
+	Side int
+}
+
+func (Num) isExpr()    {}
+func (Sym) isExpr()    {}
+func (Access) isExpr() {}
+func (Add) isExpr()    {}
+func (Mul) isExpr()    {}
+func (Pow) isExpr()    {}
+func (Deriv) isExpr()  {}
+
+// Int returns an exact integer constant.
+func Int(v int64) Num { return Num{Val: big.NewRat(v, 1)} }
+
+// Rat returns an exact rational constant p/q.
+func Rat(p, q int64) Num { return Num{Val: big.NewRat(p, q)} }
+
+// Float returns a constant from a float64 (exact binary value).
+func Float(v float64) Num {
+	r := new(big.Rat)
+	r.SetFloat64(v)
+	return Num{Val: r}
+}
+
+// Zero and One are shared constants.
+var (
+	ZeroExpr = Int(0)
+	OneExpr  = Int(1)
+)
+
+// S returns a named scalar symbol.
+func S(name string) Sym { return Sym{Name: name} }
+
+func (n Num) String() string {
+	if n.Val.IsInt() {
+		return n.Val.Num().String()
+	}
+	return n.Val.RatString()
+}
+
+func (s Sym) String() string { return s.Name }
+
+func (a Access) String() string {
+	var b strings.Builder
+	b.WriteString(a.Fun.Name)
+	b.WriteByte('[')
+	if a.Fun.IsTime {
+		switch {
+		case a.TimeOff == 0:
+			b.WriteString("t")
+		case a.TimeOff > 0:
+			fmt.Fprintf(&b, "t+%d", a.TimeOff)
+		default:
+			fmt.Fprintf(&b, "t%d", a.TimeOff)
+		}
+		if a.Fun.NDims > 0 {
+			b.WriteByte(',')
+		}
+	}
+	names := []string{"x", "y", "z", "w"}
+	for i, o := range a.Off {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		d := names[i%len(names)]
+		switch {
+		case o == 0:
+			b.WriteString(d)
+		case o > 0:
+			fmt.Fprintf(&b, "%s+%d", d, o)
+		default:
+			fmt.Fprintf(&b, "%s%d", d, o)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (a Add) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+func (m Mul) String() string {
+	parts := make([]string, len(m.Factors))
+	for i, f := range m.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+func (p Pow) String() string {
+	return fmt.Sprintf("%s**%d", p.Base.String(), p.Exp)
+}
+
+func (d Deriv) String() string {
+	dim := "t"
+	if d.Dim >= 0 {
+		dim = []string{"x", "y", "z", "w"}[d.Dim%4]
+	}
+	return fmt.Sprintf("d%d(%s)/d%s%d", d.Order, d.Target.String(), dim, d.Order)
+}
+
+// NewAdd builds a flattened, constant-folded sum.
+func NewAdd(terms ...Expr) Expr {
+	flat := make([]Expr, 0, len(terms))
+	acc := new(big.Rat)
+	for _, t := range terms {
+		switch v := t.(type) {
+		case Add:
+			for _, s := range v.Terms {
+				if n, ok := s.(Num); ok {
+					acc.Add(acc, n.Val)
+				} else {
+					flat = append(flat, s)
+				}
+			}
+		case Num:
+			acc.Add(acc, v.Val)
+		default:
+			flat = append(flat, t)
+		}
+	}
+	if acc.Sign() != 0 {
+		flat = append(flat, Num{Val: acc})
+	}
+	switch len(flat) {
+	case 0:
+		return Int(0)
+	case 1:
+		return flat[0]
+	}
+	return Add{Terms: flat}
+}
+
+// NewMul builds a flattened, constant-folded product. A zero factor
+// annihilates the product.
+func NewMul(factors ...Expr) Expr {
+	flat := make([]Expr, 0, len(factors))
+	acc := big.NewRat(1, 1)
+	for _, f := range factors {
+		switch v := f.(type) {
+		case Mul:
+			for _, s := range v.Factors {
+				if n, ok := s.(Num); ok {
+					acc.Mul(acc, n.Val)
+				} else {
+					flat = append(flat, s)
+				}
+			}
+		case Num:
+			acc.Mul(acc, v.Val)
+		default:
+			flat = append(flat, f)
+		}
+	}
+	if acc.Sign() == 0 {
+		return Int(0)
+	}
+	one := big.NewRat(1, 1)
+	if acc.Cmp(one) != 0 || len(flat) == 0 {
+		// Keep the numeric coefficient first for canonical ordering.
+		flat = append([]Expr{Num{Val: acc}}, flat...)
+	}
+	switch len(flat) {
+	case 0:
+		return Int(1)
+	case 1:
+		return flat[0]
+	}
+	return Mul{Factors: flat}
+}
+
+// Neg returns -e.
+func Neg(e Expr) Expr { return NewMul(Int(-1), e) }
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return NewAdd(a, Neg(b)) }
+
+// Div returns a / b (b raised to -1).
+func Div(a, b Expr) Expr {
+	if n, ok := b.(Num); ok {
+		inv := new(big.Rat).Inv(n.Val)
+		return NewMul(a, Num{Val: inv})
+	}
+	return NewMul(a, Pow{Base: b, Exp: -1})
+}
+
+// NewPow folds trivial exponents and nested powers.
+func NewPow(base Expr, exp int) Expr {
+	switch exp {
+	case 0:
+		return Int(1)
+	case 1:
+		return base
+	}
+	if p, ok := base.(Pow); ok {
+		return NewPow(p.Base, p.Exp*exp)
+	}
+	if n, ok := base.(Num); ok && exp > 0 {
+		r := big.NewRat(1, 1)
+		for i := 0; i < exp; i++ {
+			r.Mul(r, n.Val)
+		}
+		return Num{Val: r}
+	}
+	if n, ok := base.(Num); ok && exp < 0 && n.Val.Sign() != 0 {
+		r := big.NewRat(1, 1)
+		inv := new(big.Rat).Inv(n.Val)
+		for i := 0; i < -exp; i++ {
+			r.Mul(r, inv)
+		}
+		return Num{Val: r}
+	}
+	return Pow{Base: base, Exp: exp}
+}
+
+// Eq is an equation lhs = rhs. The devigo compiler consumes lists of Eq.
+type Eq struct {
+	LHS Expr
+	RHS Expr
+}
+
+func (e Eq) String() string { return e.LHS.String() + " = " + e.RHS.String() }
+
+// Walk visits every node of the expression tree in depth-first order. If fn
+// returns false the walk does not descend into the node's children.
+func Walk(e Expr, fn func(Expr) bool) {
+	if !fn(e) {
+		return
+	}
+	switch v := e.(type) {
+	case Add:
+		for _, t := range v.Terms {
+			Walk(t, fn)
+		}
+	case Mul:
+		for _, f := range v.Factors {
+			Walk(f, fn)
+		}
+	case Pow:
+		Walk(v.Base, fn)
+	case Deriv:
+		Walk(v.Target, fn)
+	}
+}
+
+// Transform rebuilds the expression bottom-up, applying fn to every node
+// after its children have been transformed.
+func Transform(e Expr, fn func(Expr) Expr) Expr {
+	switch v := e.(type) {
+	case Add:
+		terms := make([]Expr, len(v.Terms))
+		for i, t := range v.Terms {
+			terms[i] = Transform(t, fn)
+		}
+		return fn(NewAdd(terms...))
+	case Mul:
+		factors := make([]Expr, len(v.Factors))
+		for i, f := range v.Factors {
+			factors[i] = Transform(f, fn)
+		}
+		return fn(NewMul(factors...))
+	case Pow:
+		return fn(NewPow(Transform(v.Base, fn), v.Exp))
+	case Deriv:
+		return fn(Deriv{Target: Transform(v.Target, fn), Dim: v.Dim, Order: v.Order, FDOrder: v.FDOrder, Side: v.Side})
+	default:
+		return fn(e)
+	}
+}
+
+// Accesses collects every Access node in the expression, in encounter order.
+func Accesses(e Expr) []Access {
+	var out []Access
+	Walk(e, func(n Expr) bool {
+		if a, ok := n.(Access); ok {
+			out = append(out, a)
+		}
+		return true
+	})
+	return out
+}
+
+// Funcs returns the distinct functions referenced by the expression, sorted
+// by name for determinism.
+func Funcs(e Expr) []*FuncRef {
+	seen := map[string]*FuncRef{}
+	Walk(e, func(n Expr) bool {
+		if a, ok := n.(Access); ok {
+			seen[a.Fun.Name] = a.Fun
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*FuncRef, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// Equal reports structural equality via canonical string rendering of the
+// collected normal form. It is intended for tests and caching, not hot paths.
+func Equal(a, b Expr) bool {
+	return Collect(a).String() == Collect(b).String()
+}

@@ -1,0 +1,368 @@
+package symbolic
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func ratSlice(vals ...int64) []*big.Rat {
+	out := make([]*big.Rat, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewRat(v, 1)
+	}
+	return out
+}
+
+func TestFDWeightsSecondDerivativeOrder2(t *testing.T) {
+	w, err := FDWeights(2, ratSlice(-1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "-2", "1"}
+	for i, s := range want {
+		if w[i].RatString() != s {
+			t.Errorf("weight[%d] = %s, want %s", i, w[i].RatString(), s)
+		}
+	}
+}
+
+func TestFDWeightsSecondDerivativeOrder4(t *testing.T) {
+	w, err := FDWeights(2, ratSlice(-2, -1, 0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"-1/12", "4/3", "-5/2", "4/3", "-1/12"}
+	for i, s := range want {
+		if w[i].RatString() != s {
+			t.Errorf("weight[%d] = %s, want %s", i, w[i].RatString(), s)
+		}
+	}
+}
+
+func TestFDWeightsFirstDerivativeOrder2(t *testing.T) {
+	w, err := FDWeights(1, ratSlice(-1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"-1/2", "0", "1/2"}
+	for i, s := range want {
+		if w[i].RatString() != s {
+			t.Errorf("weight[%d] = %s, want %s", i, w[i].RatString(), s)
+		}
+	}
+}
+
+func TestFDWeightsStaggeredFirstDerivative(t *testing.T) {
+	// Forward staggered, order 2: points at -1/2, +1/2 -> weights -1, 1.
+	offs := StaggeredOffsets(2, +1)
+	w, err := FDWeights(1, offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0].RatString() != "-1" || w[1].RatString() != "1" {
+		t.Errorf("staggered order-2 weights = %v, want [-1 1]", w)
+	}
+	// Order 4: classic (1/24, -9/8, 9/8, -1/24).
+	offs = StaggeredOffsets(4, +1)
+	w, err = FDWeights(1, offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1/24", "-9/8", "9/8", "-1/24"}
+	for i, s := range want {
+		if w[i].RatString() != s {
+			t.Errorf("staggered order-4 weight[%d] = %s, want %s", i, w[i].RatString(), s)
+		}
+	}
+}
+
+func TestFDWeightsSumToZeroForDerivatives(t *testing.T) {
+	// Derivative weights of any order >= 1 must annihilate constants.
+	for _, acc := range []int{2, 4, 8, 12, 16} {
+		for _, m := range []int{1, 2} {
+			offs := CentralOffsets(m, acc)
+			w, err := FDWeights(m, offs)
+			if err != nil {
+				t.Fatalf("acc %d m %d: %v", acc, m, err)
+			}
+			sum := new(big.Rat)
+			for _, x := range w {
+				sum.Add(sum, x)
+			}
+			if sum.Sign() != 0 {
+				t.Errorf("acc %d m %d: weights sum to %s, want 0", acc, m, sum.RatString())
+			}
+		}
+	}
+}
+
+func TestFDWeightsNumericalAccuracy(t *testing.T) {
+	// d2/dx2 of sin(x) at x0 should converge at the advertised order.
+	x0 := 0.7
+	exact := -math.Sin(x0)
+	errAt := func(acc int, h float64) float64 {
+		offs := CentralOffsets(2, acc)
+		w, err := FDWeights(2, offs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i, o := range offs {
+			of, _ := o.Float64()
+			wf, _ := w[i].Float64()
+			sum += wf * math.Sin(x0+of*h)
+		}
+		return math.Abs(sum/(h*h) - exact)
+	}
+	for _, acc := range []int{2, 4} {
+		e1 := errAt(acc, 0.1)
+		e2 := errAt(acc, 0.05)
+		order := math.Log2(e1 / e2)
+		if order < float64(acc)-0.7 {
+			t.Errorf("acc %d: measured convergence order %.2f too low (errors %g -> %g)", acc, order, e1, e2)
+		}
+	}
+	// High orders reach the float64 noise floor at these h; just require a
+	// tiny absolute error rather than a measurable convergence rate.
+	if e := errAt(8, 0.1); e > 1e-10 {
+		t.Errorf("acc 8 error %g too large", e)
+	}
+}
+
+func TestCollectMergesLikeTerms(t *testing.T) {
+	a := S("a")
+	b := S("b")
+	// 2a + 3a + b - b = 5a
+	e := NewAdd(NewMul(Int(2), a), NewMul(Int(3), a), b, Neg(b))
+	got := Collect(e)
+	want := NewMul(Int(5), a)
+	if got.String() != want.String() {
+		t.Errorf("Collect = %s, want %s", got, want)
+	}
+}
+
+func TestCollectDistributes(t *testing.T) {
+	a, b, c := S("a"), S("b"), S("c")
+	e := NewMul(NewAdd(a, b), c)
+	got := Collect(e)
+	want := Collect(NewAdd(NewMul(a, c), NewMul(b, c)))
+	if got.String() != want.String() {
+		t.Errorf("Collect((a+b)c) = %s, want %s", got, want)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 3x + 6 = 0 -> x = -2
+	x := S("x")
+	sol, err := Solve(Eq{LHS: NewAdd(NewMul(Int(3), x), Int(6)), RHS: Int(0)}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.String() != "-2" {
+		t.Errorf("Solve = %s, want -2", sol)
+	}
+}
+
+func TestSolveNonLinearFails(t *testing.T) {
+	x := S("x")
+	_, err := Solve(Eq{LHS: NewMul(x, x), RHS: Int(4)}, x)
+	if err == nil {
+		t.Fatal("expected error solving quadratic")
+	}
+}
+
+func TestSolveMissingTargetFails(t *testing.T) {
+	x, y := S("x"), S("y")
+	_, err := Solve(Eq{LHS: y, RHS: Int(4)}, x)
+	if err == nil {
+		t.Fatal("expected error when target absent")
+	}
+}
+
+func TestSolveDiffusionUpdate(t *testing.T) {
+	// Paper Listing 1: Eq(u.dt, u.laplace) solved for u.forward in 2D,
+	// SDO 2, time order 1 (forward Euler). The update must be
+	//   u[t+1] = u[t] + dt*( (u[t,x-1]+u[t,x+1]-2u)/h_x^2 + ... ).
+	u := &FuncRef{Name: "u", NDims: 2, IsTime: true, NumBufs: 2}
+	eq := Eq{LHS: Dt(At(u), 1), RHS: Laplace(At(u), 2, 2)}
+	fwd := ForwardStencil(u)
+	sol, err := Solve(eq, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both sides numerically on a synthetic field.
+	field := func(fun *FuncRef, timeOff int, off []int) float64 {
+		// A smooth function of the offsets; t contributes too.
+		return 1.3*float64(off[0]) + 0.7*float64(off[1])*float64(off[1]) + 0.1*float64(timeOff)
+	}
+	env := &Env{Syms: map[string]float64{"dt": 0.01, "h_x": 0.5, "h_y": 0.5}, Field: field}
+	got := Eval(sol, env)
+	// Hand-computed forward-Euler update.
+	lap := (field(u, 0, []int{-1, 0}) - 2*field(u, 0, []int{0, 0}) + field(u, 0, []int{1, 0})) / 0.25
+	lap += (field(u, 0, []int{0, -1}) - 2*field(u, 0, []int{0, 0}) + field(u, 0, []int{0, 1})) / 0.25
+	want := field(u, 0, []int{0, 0}) + 0.01*lap
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("diffusion update = %g, want %g", got, want)
+	}
+}
+
+func TestStencilRadius(t *testing.T) {
+	u := &FuncRef{Name: "u", NDims: 3, IsTime: true, NumBufs: 3}
+	e := ExpandDerivatives(Laplace(At(u), 3, 8))
+	r := StencilRadius(e, 3)
+	for d, got := range r {
+		if got != 4 {
+			t.Errorf("radius[%d] = %d, want 4 for SDO 8", d, got)
+		}
+	}
+}
+
+func TestExpandSecondTimeDerivative(t *testing.T) {
+	u := &FuncRef{Name: "u", NDims: 1, IsTime: true, NumBufs: 3}
+	e := ExpandDerivatives(Dt2(At(u), 2))
+	// (u[t-1] - 2u[t] + u[t+1]) / dt^2
+	field := func(fun *FuncRef, timeOff int, off []int) float64 {
+		return float64(timeOff * timeOff) // f(t)=t^2 -> f'' = 2
+	}
+	env := &Env{Syms: map[string]float64{"dt": 1}, Field: field}
+	if got := Eval(e, env); math.Abs(got-2) > 1e-12 {
+		t.Errorf("dt2 of t^2 = %g, want 2", got)
+	}
+}
+
+func TestHoistInvariants(t *testing.T) {
+	u := &FuncRef{Name: "u", NDims: 1, IsTime: true, NumBufs: 2}
+	hx := S("h_x")
+	inv := NewPow(hx, -2)
+	e := NewAdd(NewMul(inv, At(u)), NewMul(inv, ForwardStencil(u)))
+	n := 0
+	assigns, out := HoistInvariants([]Expr{e}, &n)
+	if len(assigns) != 1 {
+		t.Fatalf("want 1 hoisted invariant, got %d", len(assigns))
+	}
+	if assigns[0].Name != "r0" {
+		t.Errorf("temp name = %s, want r0", assigns[0].Name)
+	}
+	// The rewritten expression must reference r0 and contain no Pow.
+	hasPow := false
+	Walk(out[0], func(x Expr) bool {
+		if _, ok := x.(Pow); ok {
+			hasPow = true
+		}
+		return true
+	})
+	if hasPow {
+		t.Error("invariant Pow not hoisted")
+	}
+}
+
+func TestCSEExtractsRepeats(t *testing.T) {
+	a, b := S("a"), S("b")
+	sub := NewMul(a, b, Int(2))
+	e1 := NewAdd(sub, Int(1))
+	e2 := NewAdd(sub, Int(5))
+	n := 0
+	assigns, out := CSE([]Expr{e1, e2}, &n)
+	if len(assigns) != 1 {
+		t.Fatalf("want 1 CSE temp, got %d (%v)", len(assigns), assigns)
+	}
+	for _, o := range out {
+		found := false
+		Walk(o, func(x Expr) bool {
+			if s, ok := x.(Sym); ok && s.Name == assigns[0].Name {
+				found = true
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("rewritten %s does not use temp", o)
+		}
+	}
+}
+
+func TestCollectPreservesEvaluation(t *testing.T) {
+	// Property: Collect(e) evaluates to the same value as e for random
+	// polynomial-ish expressions.
+	f := func(ai, bi, ci int8, x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		// Clamp magnitudes to keep float comparisons meaningful.
+		if math.Abs(x) > 1e3 || math.Abs(y) > 1e3 {
+			return true
+		}
+		a, b, c := int64(ai), int64(bi), int64(ci)
+		sx, sy := S("x"), S("y")
+		e := NewAdd(
+			NewMul(Int(a), sx, sy),
+			NewMul(Int(b), sx),
+			NewMul(Int(c), sy, sx),
+			NewPow(NewAdd(sx, sy), 2),
+		)
+		env := &Env{Syms: map[string]float64{"x": x, "y": y}}
+		v1 := Eval(e, env)
+		v2 := Eval(Collect(e), env)
+		diff := math.Abs(v1 - v2)
+		scale := math.Max(1, math.Max(math.Abs(v1), math.Abs(v2)))
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectIdempotent(t *testing.T) {
+	f := func(ai, bi int8) bool {
+		a, b := int64(ai), int64(bi)
+		sx, sy := S("x"), S("y")
+		e := NewAdd(NewMul(Int(a), sx), NewMul(Int(b), sy), NewMul(sx, sy))
+		c1 := Collect(e)
+		c2 := Collect(c1)
+		return c1.String() == c2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNormalises(t *testing.T) {
+	a, b := S("a"), S("b")
+	if !Equal(NewAdd(a, b), NewAdd(b, a)) {
+		t.Error("a+b should equal b+a")
+	}
+	if Equal(NewAdd(a, b), NewAdd(a, a)) {
+		t.Error("a+b should not equal a+a")
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	a, b := S("a"), S("b")
+	if got := FlopCount(NewAdd(a, b)); got != 1 {
+		t.Errorf("flops(a+b) = %d, want 1", got)
+	}
+	e := NewMul(Int(2), a, b) // 2 mults
+	if got := FlopCount(e); got != 2 {
+		t.Errorf("flops(2ab) = %d, want 2", got)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	u := &FuncRef{Name: "u", NDims: 2, IsTime: true, NumBufs: 3}
+	a := Shifted(u, 1, 2, -1)
+	if a.String() != "u[t+1,x+2,y-1]" {
+		t.Errorf("Access.String = %s", a.String())
+	}
+}
+
+func TestCentralOffsetsRadius(t *testing.T) {
+	for _, tc := range []struct{ m, acc, wantLen int }{
+		{1, 2, 3}, {2, 2, 3}, {1, 8, 9}, {2, 8, 9}, {2, 16, 17},
+	} {
+		offs := CentralOffsets(tc.m, tc.acc)
+		if len(offs) != tc.wantLen {
+			t.Errorf("CentralOffsets(%d,%d) len = %d, want %d", tc.m, tc.acc, len(offs), tc.wantLen)
+		}
+	}
+}

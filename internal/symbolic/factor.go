@@ -1,0 +1,104 @@
+package symbolic
+
+// FactorCommon implements the factorisation flop-reduction pass of the
+// Cluster layer (paper Section II): factors common to every term of a sum
+// are pulled out front, so e.g. the dt and 1/(h*h) style coefficients of a
+// solved update multiply the stencil sum once instead of every tap:
+//
+//	dt*r0*u[x-1] + dt*r0*u[x+1] + ...  ->  dt*r0*(u[x-1] + u[x+1] + ...)
+//
+// Numeric coefficients stay inside the terms (they differ per tap).
+func FactorCommon(e Expr) Expr {
+	return Transform(e, func(n Expr) Expr {
+		a, ok := n.(Add)
+		if !ok || len(a.Terms) < 2 {
+			return n
+		}
+		// Count factor occurrences (by canonical string) in the first
+		// term, then intersect with every other term.
+		common := factorCounts(a.Terms[0])
+		if len(common) == 0 {
+			return n
+		}
+		for _, t := range a.Terms[1:] {
+			tc := factorCounts(t)
+			for k, c := range common {
+				if tc[k] < c {
+					if tc[k] == 0 {
+						delete(common, k)
+					} else {
+						common[k] = tc[k]
+					}
+				}
+			}
+			if len(common) == 0 {
+				return n
+			}
+		}
+		// Build the common factor list (deterministic order) and strip
+		// them from each term.
+		var commonFactors []Expr
+		taken := map[string]int{}
+		collectOrder(a.Terms[0], func(f Expr) {
+			k := f.String()
+			if taken[k] < common[k] {
+				taken[k]++
+				commonFactors = append(commonFactors, f)
+			}
+		})
+		if len(commonFactors) == 0 {
+			return n
+		}
+		newTerms := make([]Expr, len(a.Terms))
+		for i, t := range a.Terms {
+			newTerms[i] = stripFactors(t, common)
+		}
+		return NewMul(append(commonFactors, NewAdd(newTerms...))...)
+	})
+}
+
+// factorCounts returns the multiset of non-numeric factors of a term.
+func factorCounts(t Expr) map[string]int {
+	out := map[string]int{}
+	collectOrder(t, func(f Expr) { out[f.String()]++ })
+	return out
+}
+
+// collectOrder visits the non-numeric factors of a term in order.
+func collectOrder(t Expr, fn func(Expr)) {
+	factors := []Expr{t}
+	if m, ok := t.(Mul); ok {
+		factors = m.Factors
+	}
+	for _, f := range factors {
+		if _, isNum := f.(Num); isNum {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// stripFactors removes up to counts[k] occurrences of each factor from the
+// term, returning the residue.
+func stripFactors(t Expr, counts map[string]int) Expr {
+	remaining := map[string]int{}
+	for k, c := range counts {
+		remaining[k] = c
+	}
+	factors := []Expr{t}
+	if m, ok := t.(Mul); ok {
+		factors = m.Factors
+	}
+	var kept []Expr
+	for _, f := range factors {
+		if _, isNum := f.(Num); !isNum {
+			k := f.String()
+			if remaining[k] > 0 {
+				remaining[k]--
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	return NewMul(kept...)
+}

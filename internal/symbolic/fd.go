@@ -1,0 +1,264 @@
+package symbolic
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// FDWeights computes exact finite-difference weights for the m-th derivative
+// on the integer stencil offsets given, assuming unit spacing. The weights w
+// satisfy sum_k w[k] * f(offset[k]*h) = f^(m)(0) * h^m + O(h^(len-m)).
+//
+// Offsets are expressed in units of half grid spacings when halfStep is true
+// (staggered stencils); the returned weights then already include the
+// corresponding 2^m factor so that dividing by h^m remains correct.
+func FDWeights(m int, offsets []*big.Rat) ([]*big.Rat, error) {
+	n := len(offsets)
+	if m >= n {
+		return nil, fmt.Errorf("symbolic: need more than %d points for derivative order %d", m, m)
+	}
+	// Solve the Taylor-table (Vandermonde) system:
+	//   sum_k w_k * offsets_k^j / j! = delta_{j,m}   for j = 0..n-1
+	A := make([][]*big.Rat, n)
+	for j := 0; j < n; j++ {
+		A[j] = make([]*big.Rat, n+1)
+		fact := factorialRat(j)
+		for k := 0; k < n; k++ {
+			p := ratPow(offsets[k], j)
+			A[j][k] = new(big.Rat).Quo(p, fact)
+		}
+		if j == m {
+			A[j][n] = big.NewRat(1, 1)
+		} else {
+			A[j][n] = new(big.Rat)
+		}
+	}
+	if err := gaussSolve(A); err != nil {
+		return nil, err
+	}
+	w := make([]*big.Rat, n)
+	for k := 0; k < n; k++ {
+		w[k] = A[k][n]
+	}
+	return w, nil
+}
+
+// CentralOffsets returns the centered integer offsets used for an m-th
+// derivative at accuracy order acc: radius = acc/2 + (m-1)/2 rounded per the
+// classic rule radius = (m+1)/2 + acc/2 - 1 for even acc. Devito uses
+// radius = acc/2 for second derivatives and first derivatives alike (its
+// space_order is the stencil radius*2), which we mirror.
+func CentralOffsets(m, acc int) []*big.Rat {
+	radius := acc / 2
+	if radius < (m+1)/2 {
+		radius = (m + 1) / 2
+	}
+	out := make([]*big.Rat, 0, 2*radius+1)
+	for k := -radius; k <= radius; k++ {
+		out = append(out, big.NewRat(int64(k), 1))
+	}
+	return out
+}
+
+// StaggeredOffsets returns half-node offsets for a first derivative
+// evaluated between grid points: side=+1 gives offsets {-(r-1)-1/2 ...
+// +(r-1)+1/2} centered at +1/2, i.e. the forward-staggered stencil; side=-1
+// the backward one. acc must be even; r = acc/2 pairs of points are used.
+func StaggeredOffsets(acc, side int) []*big.Rat {
+	r := acc / 2
+	if r < 1 {
+		r = 1
+	}
+	out := make([]*big.Rat, 0, 2*r)
+	for k := -r; k < r; k++ {
+		// Offsets at k + 1/2 for forward; mirrored for backward.
+		o := big.NewRat(2*int64(k)+1, 2)
+		if side < 0 {
+			o.Neg(o)
+		}
+		out = append(out, o)
+	}
+	if side < 0 {
+		// Keep ascending order for readability/determinism.
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+func factorialRat(n int) *big.Rat {
+	f := big.NewRat(1, 1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewRat(int64(i), 1))
+	}
+	return f
+}
+
+func ratPow(r *big.Rat, n int) *big.Rat {
+	out := big.NewRat(1, 1)
+	for i := 0; i < n; i++ {
+		out.Mul(out, r)
+	}
+	return out
+}
+
+// gaussSolve performs in-place Gauss-Jordan elimination on an n x (n+1)
+// augmented rational matrix, leaving the solution in column n.
+func gaussSolve(A [][]*big.Rat) error {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Partial pivot: find a nonzero entry.
+		pivot := -1
+		for row := col; row < n; row++ {
+			if A[row][col].Sign() != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return fmt.Errorf("symbolic: singular Taylor system")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		inv := new(big.Rat).Inv(A[col][col])
+		for j := col; j <= n; j++ {
+			A[col][j] = new(big.Rat).Mul(A[col][j], inv)
+		}
+		for row := 0; row < n; row++ {
+			if row == col || A[row][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Set(A[row][col])
+			for j := col; j <= n; j++ {
+				t := new(big.Rat).Mul(factor, A[col][j])
+				A[row][j] = new(big.Rat).Sub(A[row][j], t)
+			}
+		}
+	}
+	return nil
+}
+
+// spacingSymbol returns the canonical spacing symbol for a dimension index:
+// h_x, h_y, h_z (or dt for the time dimension, dim == -1).
+func spacingSymbol(dim int) Sym {
+	if dim < 0 {
+		return S("dt")
+	}
+	names := []string{"h_x", "h_y", "h_z", "h_w"}
+	return S(names[dim%len(names)])
+}
+
+// ExpandTimeDerivatives expands only the time-derivative nodes (Dim < 0),
+// leaving spatial derivatives symbolic. Solve uses it so that the target
+// access u[t+1] becomes visible without destroying the nested spatial
+// derivative structure that the CIRE flop-reduction pass operates on.
+func ExpandTimeDerivatives(e Expr) Expr {
+	return Transform(e, func(n Expr) Expr {
+		d, ok := n.(Deriv)
+		if !ok || d.Dim >= 0 {
+			return n
+		}
+		return expandDeriv(d)
+	})
+}
+
+// ExpandDerivatives rewrites every Deriv node into its finite-difference
+// stencil: a weighted sum of shifted Access nodes divided by the appropriate
+// spacing power. Derivatives of arbitrary expressions are supported by
+// shifting every Access inside the target; derivatives of products with
+// non-Access factors (e.g. parameter-weighted fields, as in the rotated TTI
+// Laplacian) shift the parameter accesses too, which matches Devito's
+// semantics of evaluating the inner expression at the shifted point.
+func ExpandDerivatives(e Expr) Expr {
+	return Transform(e, func(n Expr) Expr {
+		d, ok := n.(Deriv)
+		if !ok {
+			return n
+		}
+		return expandDeriv(d)
+	})
+}
+
+func expandDeriv(d Deriv) Expr {
+	var offsets []*big.Rat
+	switch {
+	case d.Dim < 0 && d.FDOrder == 1:
+		// Forward (explicit) time difference: a TimeFunction with
+		// time_order 1 has only two buffers, so u.dt must be
+		// (u[t+1]-u[t])/dt, not centered.
+		offsets = make([]*big.Rat, d.Order+1)
+		for k := 0; k <= d.Order; k++ {
+			offsets[k] = big.NewRat(int64(k), 1)
+		}
+	case d.Side == 0:
+		offsets = CentralOffsets(d.Order, d.FDOrder)
+	case d.Order == 1:
+		offsets = StaggeredOffsets(d.FDOrder, d.Side)
+	default:
+		// Staggered higher derivatives are composed of first derivatives by
+		// the propagators; fall back to centered.
+		offsets = CentralOffsets(d.Order, d.FDOrder)
+	}
+	weights, err := FDWeights(d.Order, offsets)
+	if err != nil {
+		// Impossible by construction (offsets are distinct); keep the node.
+		return d
+	}
+	// Note any half offsets: the shift must land on integers for array
+	// accesses, so staggered targets absorb the 1/2 via their storage
+	// convention (value at x+1/2 stored at index x).
+	terms := make([]Expr, 0, len(offsets))
+	for i, off := range offsets {
+		if weights[i].Sign() == 0 {
+			continue
+		}
+		shift, half := ratToShift(off)
+		shifted := shiftExpr(d.Target, d.Dim, shift, half)
+		terms = append(terms, NewMul(Num{Val: weights[i]}, shifted))
+	}
+	sum := NewAdd(terms...)
+	h := spacingSymbol(d.Dim)
+	return NewMul(sum, NewPow(h, -d.Order))
+}
+
+// ratToShift decomposes a stencil offset into an integer shift plus an
+// optional half-cell remainder. Offsets are always k or k+1/2.
+func ratToShift(r *big.Rat) (shift int, half bool) {
+	num := r.Num().Int64()
+	den := r.Denom().Int64()
+	if den == 1 {
+		return int(num), false
+	}
+	// num/2 with num odd: floor to the storage index convention
+	// value(x + (2k+1)/2) lives at index x + k.
+	if num >= 0 {
+		return int((num - 1) / 2), true
+	}
+	return int((num - 1) / 2), true
+}
+
+// shiftExpr shifts every Access in e by `shift` cells along dim. The `half`
+// flag is informational: staggered storage places half-node values at the
+// floor integer index, so no further action is required, but the flag is
+// validated against the accessed function's stagger so mistakes surface.
+func shiftExpr(e Expr, dim int, shift int, half bool) Expr {
+	return Transform(e, func(n Expr) Expr {
+		a, ok := n.(Access)
+		if !ok {
+			return n
+		}
+		if dim < 0 {
+			if !a.Fun.IsTime {
+				return a
+			}
+			return Access{Fun: a.Fun, TimeOff: a.TimeOff + shift, Off: a.Off}
+		}
+		if dim >= len(a.Off) {
+			return a
+		}
+		off := make([]int, len(a.Off))
+		copy(off, a.Off)
+		off[dim] += shift
+		return Access{Fun: a.Fun, TimeOff: a.TimeOff, Off: off}
+	})
+}

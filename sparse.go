@@ -1,0 +1,47 @@
+package devigo
+
+import (
+	"devigo/internal/sparse"
+)
+
+// SparseFunction is a set of off-grid points supporting injection into and
+// interpolation from grid functions — the paper's sparse operator support
+// (Section III-c): sources and receivers of wave propagators.
+type SparseFunction struct {
+	s    *sparse.SparseFunction
+	grid *Grid
+}
+
+// NewSparseFunction registers npoint off-grid coordinates (physical units)
+// against the grid.
+func NewSparseFunction(name string, g *Grid, coords [][]float64) (*SparseFunction, error) {
+	s, err := sparse.New(name, g.g, coords)
+	if err != nil {
+		return nil, err
+	}
+	return &SparseFunction{s: s, grid: g}, nil
+}
+
+// NPoints returns the number of sparse points.
+func (s *SparseFunction) NPoints() int { return s.s.NPoints() }
+
+// Inject scatter-adds vals (one per point, linearly distributed over the
+// containing cell corners) into time buffer t of f. Under DMP each rank
+// applies only its owned contributions, so the global update happens
+// exactly once (paper Fig. 3).
+func (s *SparseFunction) Inject(f *Function, t int, vals []float32) error {
+	return s.s.Inject(f.f, t, vals)
+}
+
+// Interpolate reads time buffer t of f at every point; under DMP the
+// partial sums are all-reduced so every rank receives complete values.
+func (s *SparseFunction) Interpolate(f *Function, t int) []float64 {
+	var comm = s.grid.env.Comm()
+	return s.s.Interpolate(f.f, t, comm)
+}
+
+// RickerWavelet generates the classic seismic source signature (peak
+// frequency f0, centred at t0, nt samples spaced dt).
+func RickerWavelet(f0, t0, dt float64, nt int) []float32 {
+	return sparse.RickerWavelet(f0, t0, dt, nt)
+}
