@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"devigo/internal/core"
+	"devigo/internal/propagators"
+)
+
+// EngineMetrics is the machine-readable record of one engine's measured
+// execution on a scenario.
+type EngineMetrics struct {
+	GPtss          float64 `json:"gptss"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	HaloSeconds    float64 `json:"halo_seconds"`
+	PointsUpdated  int64   `json:"points_updated"`
+	FlopsPerPoint  int     `json:"flops_per_point"`
+}
+
+// ExecReport is the BENCH_<scenario>.json schema: real measured
+// throughput per engine, so future PRs can track the perf trajectory.
+type ExecReport struct {
+	Scenario   string                   `json:"scenario"`
+	Shape      []int                    `json:"shape"`
+	SpaceOrder int                      `json:"space_order"`
+	NT         int                      `json:"nt"`
+	Engines    map[string]EngineMetrics `json:"engines"`
+	// SpeedupBytecode is bytecode GPts/s over interpreter GPts/s.
+	SpeedupBytecode float64 `json:"speedup_bytecode_over_interpreter"`
+}
+
+// runExec measures the *real* executor (not the performance model) on
+// each scenario with both engines, prints a comparison table and writes
+// BENCH_<scenario>.json into outDir (suffixed _so<k> when several space
+// orders are requested).
+func runExec(models []string, sos []int, size, nt int, outDir string) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, so := range sos {
+		runExecSO(models, so, size, nt, outDir, len(sos) > 1)
+	}
+}
+
+func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) {
+	fmt.Printf("Measured execution, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
+	fmt.Printf("%-14s %14s %14s %10s\n", "scenario", "interp GPts/s", "bytec GPts/s", "speedup")
+	for _, model := range models {
+		report := ExecReport{
+			Scenario:   model,
+			Shape:      []int{size, size},
+			SpaceOrder: so,
+			NT:         nt,
+			Engines:    map[string]EngineMetrics{},
+		}
+		for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
+			perf, err := measure(model, engine, size, so, nt)
+			if err != nil {
+				fatal(err)
+			}
+			report.Engines[engine] = EngineMetrics{
+				GPtss:          perf.GPtss(),
+				ComputeSeconds: perf.ComputeSeconds,
+				HaloSeconds:    perf.HaloSeconds,
+				PointsUpdated:  perf.PointsUpdated,
+				FlopsPerPoint:  perf.FlopsPerPoint,
+			}
+		}
+		gi := report.Engines[core.EngineInterpreter].GPtss
+		gb := report.Engines[core.EngineBytecode].GPtss
+		if gi > 0 {
+			report.SpeedupBytecode = gb / gi
+		}
+		fmt.Printf("%-14s %14.4f %14.4f %9.2fx\n", model, gi, gb, report.SpeedupBytecode)
+		name := fmt.Sprintf("BENCH_%s.json", model)
+		if suffixSO {
+			name = fmt.Sprintf("BENCH_%s_so%d.json", model, so)
+		}
+		path := filepath.Join(outDir, name)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+}
+
+// measure builds the scenario fresh (its own storage) and runs all nt
+// steps serially; the counters include the cold first step, so keep nt
+// large enough to amortize first-touch effects.
+func measure(model, engine string, size, so, nt int) (core.Perf, error) {
+	m, err := propagators.Build(model, propagators.Config{
+		Shape: []int{size, size}, SpaceOrder: so, NBL: 8, Velocity: 1.5,
+	})
+	if err != nil {
+		return core.Perf{}, err
+	}
+	res, err := propagators.Run(m, nil, propagators.RunConfig{NT: nt, Engine: engine})
+	if err != nil {
+		return core.Perf{}, err
+	}
+	return res.Perf, nil
+}

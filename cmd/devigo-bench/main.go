@@ -11,6 +11,14 @@
 //	devigo-bench -exp roofline                                   # Fig. 7
 //	devigo-bench -exp selectmode                                 # mode-tuner ablation
 //	devigo-bench -exp all                                        # everything
+//
+// In addition to the paper's modeled numbers, -exp exec measures the
+// *real* executor on this machine, comparing the interpreter against the
+// bytecode register VM per scenario, and writes machine-readable
+// BENCH_<scenario>.json files (GPts/s, compute/halo split, engine) for
+// tracking the performance trajectory across PRs:
+//
+//	devigo-bench -exp exec -model all -size 256 -nt 30 -out .
 package main
 
 import (
@@ -25,10 +33,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
+	size := flag.Int("size", 256, "exec: square grid extent per side")
+	nt := flag.Int("nt", 30, "exec: timesteps to measure")
+	out := flag.String("out", ".", "exec: directory for BENCH_<scenario>.json")
 	flag.Parse()
 
 	sos, err := parseSOs(*soFlag)
@@ -60,6 +71,8 @@ func main() {
 		runRoofline(sos)
 	case "selectmode":
 		runSelectMode(sos)
+	case "exec":
+		runExec(models, sos, *size, *nt, *out)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}

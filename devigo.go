@@ -17,6 +17,21 @@
 //	upd, _ := devigo.Solve(devigo.Eq(u.Dt(), u.Laplace()), u.Forward())
 //	op, _ := devigo.NewOperator(g, devigo.Assign(u.Forward(), upd))
 //	op.Apply(devigo.ApplyConfig{TimeM: 0, TimeN: 0, DT: dt})
+//
+// # Execution engines
+//
+// Operators execute through one of two engines. The default is the
+// bytecode engine (internal/bytecode): each loop nest compiles to flat
+// register bytecode run by a row-sweep VM — one instruction dispatch
+// processes a whole inner-dimension row, duplicate stencil reads load
+// once, and loop-invariant scalars (including 1/dt-style reciprocals)
+// are folded at compile time or evaluated once per Apply. The reference
+// expression-tree interpreter (internal/runtime) remains available by
+// setting DEVIGO_ENGINE=interpreter in the environment — the selector
+// for users of this package; code inside this module can also set
+// core.Options.Engine directly. Both engines are bit-exact: they
+// produce identical float32 fields for identical inputs, serially and
+// under any DMP mode, so switching engines never changes results.
 package devigo
 
 import (

@@ -1,0 +1,3 @@
+module devigo
+
+go 1.24

@@ -1,0 +1,599 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+
+	"devigo/internal/field"
+	"devigo/internal/ir"
+	"devigo/internal/symbolic"
+)
+
+// CompileCluster resolves a cluster against concrete field storage —
+// the bytecode counterpart of runtime.CompileCluster.
+func CompileCluster(c *ir.Cluster, fields map[string]*field.Function) (*Kernel, error) {
+	return CompileNest(nil, c.Eqs, c.Radius, fields)
+}
+
+// CompileNest compiles the optimized form of a loop nest — per-point CSE
+// temporaries (assigns) followed by the update equations — into flat
+// register bytecode. Scalar symbols matching an assign name compile to
+// pinned row registers; all other scalars land in the bind-time pool.
+func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
+	fields map[string]*field.Function) (*Kernel, error) {
+	k := &Kernel{Radius: append([]int(nil), radius...)}
+	c := &compiler{
+		k:           k,
+		fields:      fields,
+		fieldIdx:    map[string]int{},
+		symPool:     map[string]int32{},
+		constPool:   map[uint64]int32{},
+		slotIdx:     map[slot]int32{},
+		tempReg:     map[string]int32{},
+		scalarCache: map[string]int32{},
+		loadCache:   map[int32]int32{},
+		cacheReg:    map[int32]int32{},
+	}
+
+	// Per-point temporaries first, in order: each lands in a pinned row
+	// register readable by every later temporary and equation.
+	for _, a := range assigns {
+		res, err := c.compileVec(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		var reg int32
+		switch res.kind {
+		case oScratch:
+			reg = res.idx
+		case oScalar:
+			reg = c.allocReg()
+			c.emit(instr{op: opMovS, rd: reg, b: res.idx})
+		default: // pinned (cached load or earlier temp): keep a private copy
+			reg = c.allocReg()
+			c.emit(instr{op: opCopy, rd: reg, a: res.idx})
+		}
+		c.tempReg[a.Name] = reg
+	}
+
+	// Equations in program order; each stores its row before the next
+	// equation compiles, so center reads of just-written fields observe
+	// the new values exactly as in the per-point interpreter.
+	for _, eq := range eqs {
+		lhs, ok := eq.LHS.(symbolic.Access)
+		if !ok {
+			return nil, fmt.Errorf("bytecode: equation LHS must be a function access, got %s", eq.LHS)
+		}
+		fi, err := c.getField(lhs.Fun.Name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.compileVec(eq.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if res.kind == oScalar {
+			reg := c.allocReg()
+			c.emit(instr{op: opMovS, rd: reg, b: res.idx})
+			res = opnd{kind: oScratch, idx: reg}
+		}
+		ei := int32(len(k.eqs))
+		k.eqs = append(k.eqs, eqOut{outField: fi, outTimeOff: lhs.TimeOff})
+		c.emit(instr{op: opStore, a: res.idx, b: ei})
+		if res.kind == oScratch {
+			c.freeRegs = append(c.freeRegs, res.idx)
+		}
+		c.invalidate(fi)
+		k.flops += symbolic.FlopCount(eq.RHS) + 1
+	}
+
+	// Validate that all fields share the local domain shape; differing
+	// halo widths are fine (strides are baked into flat offsets).
+	for i := 1; i < len(k.Fields); i++ {
+		for d := range k.Fields[0].LocalShape {
+			if k.Fields[i].LocalShape[d] != k.Fields[0].LocalShape[d] {
+				return nil, fmt.Errorf("bytecode: fields %s and %s disagree on local shape",
+					k.names[0], k.names[i])
+			}
+		}
+	}
+	k.numRegs = int(c.nextReg)
+	return k, nil
+}
+
+// opnd is a compiled operand: a scalar-pool entry, a reusable scratch row
+// register, or a pinned row register (CSE temporary or cached load) that
+// consumers must not free or overwrite.
+type opnd struct {
+	kind byte
+	idx  int32
+}
+
+const (
+	oScalar byte = iota
+	oScratch
+	oPinned
+)
+
+type compiler struct {
+	k      *Kernel
+	fields map[string]*field.Function
+
+	fieldIdx  map[string]int
+	symPool   map[string]int32  // scalar symbol -> pool slot
+	constPool map[uint64]int32  // float64 bits -> pool slot
+	slotIdx   map[slot]int32
+	tempReg   map[string]int32  // CSE temporary -> pinned register
+	// scalarCache dedups bind-time evaluation of identical scalar
+	// subtrees (canonical string -> pool slot).
+	scalarCache map[string]int32
+	// known marks pool entries whose value is a compile-time constant,
+	// enabling constant folding in the scalar prelude.
+	known []bool
+
+	// loadCache maps a slot to the register holding its current row, so
+	// duplicate reads compile to a single load; stores to the slot's
+	// field evict it.
+	loadCache map[int32]int32
+	cacheReg  map[int32]int32 // reverse: register -> slot
+
+	freeRegs []int32
+	nextReg  int32
+}
+
+func (c *compiler) emit(in instr) { c.k.prog = append(c.k.prog, in) }
+
+func (c *compiler) allocReg() int32 {
+	if n := len(c.freeRegs); n > 0 {
+		r := c.freeRegs[n-1]
+		c.freeRegs = c.freeRegs[:n-1]
+		return r
+	}
+	r := c.nextReg
+	c.nextReg++
+	return r
+}
+
+// pick chooses the destination register, reusing the first scratch
+// operand in-place when possible (elementwise ops tolerate aliasing).
+func (c *compiler) pick(cands ...opnd) int32 {
+	for _, o := range cands {
+		if o.kind == oScratch {
+			return o.idx
+		}
+	}
+	return c.allocReg()
+}
+
+// releaseExcept frees every scratch operand that did not become rd.
+func (c *compiler) releaseExcept(rd int32, os ...opnd) {
+	for _, o := range os {
+		if o.kind == oScratch && o.idx != rd {
+			c.freeRegs = append(c.freeRegs, o.idx)
+		}
+	}
+}
+
+func (c *compiler) getField(name string) (int, error) {
+	if i, ok := c.fieldIdx[name]; ok {
+		return i, nil
+	}
+	f, ok := c.fields[name]
+	if !ok {
+		return 0, fmt.Errorf("bytecode: no storage registered for field %q", name)
+	}
+	i := len(c.k.Fields)
+	c.fieldIdx[name] = i
+	c.k.Fields = append(c.k.Fields, f)
+	c.k.names = append(c.k.names, name)
+	return i, nil
+}
+
+// invalidate evicts cached loads of the field an equation just stored to,
+// regardless of time offset (cyclic time buffers may alias offsets).
+func (c *compiler) invalidate(fieldIdx int) {
+	for si := range c.k.slots {
+		si32 := int32(si)
+		reg, cached := c.loadCache[si32]
+		if !cached || c.k.slots[si].fieldIdx != fieldIdx {
+			continue
+		}
+		delete(c.loadCache, si32)
+		delete(c.cacheReg, reg)
+		c.freeRegs = append(c.freeRegs, reg)
+	}
+}
+
+// --- scalar pool -----------------------------------------------------------
+
+func (c *compiler) addPoolSlot(v float64, known bool) int32 {
+	idx := int32(len(c.k.pool))
+	c.k.pool = append(c.k.pool, v)
+	c.known = append(c.known, known)
+	return idx
+}
+
+func (c *compiler) addConst(v float64) int32 {
+	key := math.Float64bits(v)
+	if idx, ok := c.constPool[key]; ok {
+		return idx
+	}
+	idx := c.addPoolSlot(v, true)
+	c.constPool[key] = idx
+	return idx
+}
+
+func (c *compiler) getSym(name string) int32 {
+	if idx, ok := c.symPool[name]; ok {
+		return idx
+	}
+	idx := c.addPoolSlot(0, false)
+	c.symPool[name] = idx
+	c.k.SymNames = append(c.k.SymNames, name)
+	c.k.symSlots = append(c.k.symSlots, idx)
+	return idx
+}
+
+// scalarBin emits pool[dst] = pool[a] op pool[b] into the bind-time
+// prelude — or folds it right away when both operands are compile-time
+// constants (the identical float64 operation runs either way, so folding
+// cannot change bits).
+func (c *compiler) scalarBin(op byte, a, b int32) int32 {
+	if c.known[a] && c.known[b] {
+		var v float64
+		if op == sAdd {
+			v = c.k.pool[a] + c.k.pool[b]
+		} else {
+			v = c.k.pool[a] * c.k.pool[b]
+		}
+		return c.addConst(v)
+	}
+	dst := c.addPoolSlot(0, false)
+	c.k.prelude = append(c.k.prelude, scalarInstr{op: op, dst: dst, a: a, b: b})
+	return dst
+}
+
+func (c *compiler) scalarPow(a int32, exp int) int32 {
+	if c.known[a] {
+		return c.addConst(ipow(c.k.pool[a], exp))
+	}
+	dst := c.addPoolSlot(0, false)
+	c.k.prelude = append(c.k.prelude, scalarInstr{op: sPow, dst: dst, a: a, b: int32(exp)})
+	return dst
+}
+
+// scalarPure reports whether e is built purely from constants and
+// bind-time scalar symbols — no field accesses and no per-point CSE
+// temporaries — and can therefore be hoisted out of the point loop.
+func (c *compiler) scalarPure(e symbolic.Expr) bool {
+	pure := true
+	symbolic.Walk(e, func(n symbolic.Expr) bool {
+		switch v := n.(type) {
+		case symbolic.Access:
+			pure = false
+			return false
+		case symbolic.Deriv:
+			pure = false
+			return false
+		case symbolic.Sym:
+			if _, isTemp := c.tempReg[v.Name]; isTemp {
+				pure = false
+				return false
+			}
+		}
+		return true
+	})
+	return pure
+}
+
+// compileScalar lowers a scalar-pure subtree to a pool slot. The prelude
+// replays the interpreter's left-nested evaluation order with the same
+// float64 operations, so the hoisted value is bit-identical to what the
+// interpreter would compute at every point.
+func (c *compiler) compileScalar(e symbolic.Expr) (int32, error) {
+	key := e.String()
+	if idx, ok := c.scalarCache[key]; ok {
+		return idx, nil
+	}
+	var idx int32
+	switch v := e.(type) {
+	case symbolic.Num:
+		f, _ := v.Val.Float64()
+		idx = c.addConst(f)
+	case symbolic.Sym:
+		idx = c.getSym(v.Name)
+	case symbolic.Add:
+		acc, err := c.compileScalar(v.Terms[0])
+		if err != nil {
+			return 0, err
+		}
+		for _, t := range v.Terms[1:] {
+			ti, err := c.compileScalar(t)
+			if err != nil {
+				return 0, err
+			}
+			acc = c.scalarBin(sAdd, acc, ti)
+		}
+		idx = acc
+	case symbolic.Mul:
+		acc, err := c.compileScalar(v.Factors[0])
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range v.Factors[1:] {
+			fi, err := c.compileScalar(f)
+			if err != nil {
+				return 0, err
+			}
+			acc = c.scalarBin(sMul, acc, fi)
+		}
+		idx = acc
+	case symbolic.Pow:
+		base, err := c.compileScalar(v.Base)
+		if err != nil {
+			return 0, err
+		}
+		idx = c.scalarPow(base, v.Exp)
+	default:
+		return 0, fmt.Errorf("bytecode: internal: %T is not scalar-pure", e)
+	}
+	c.scalarCache[key] = idx
+	return idx, nil
+}
+
+// --- vector compilation ----------------------------------------------------
+
+// compileVec lowers e to an operand: a pool scalar when the subtree is
+// loop-invariant, a row register otherwise.
+func (c *compiler) compileVec(e symbolic.Expr) (opnd, error) {
+	if c.scalarPure(e) {
+		idx, err := c.compileScalar(e)
+		return opnd{kind: oScalar, idx: idx}, err
+	}
+	switch v := e.(type) {
+	case symbolic.Sym:
+		reg, ok := c.tempReg[v.Name]
+		if !ok {
+			return opnd{}, fmt.Errorf("bytecode: internal: symbol %q is neither scalar nor temporary", v.Name)
+		}
+		return opnd{kind: oPinned, idx: reg}, nil
+	case symbolic.Access:
+		return c.load(v)
+	case symbolic.Add:
+		return c.compileAdd(v.Terms)
+	case symbolic.Mul:
+		return c.compileMul(v.Factors)
+	case symbolic.Pow:
+		base, err := c.compileVec(v.Base)
+		if err != nil {
+			return opnd{}, err
+		}
+		rd := c.pick(base)
+		c.emit(instr{op: opPowV, rd: rd, a: base.idx, b: int32(v.Exp)})
+		c.releaseExcept(rd, base)
+		return opnd{kind: oScratch, idx: rd}, nil
+	case symbolic.Deriv:
+		return opnd{}, fmt.Errorf("bytecode: unexpanded derivative reached codegen: %s", v)
+	default:
+		return opnd{}, fmt.Errorf("bytecode: cannot compile %T", e)
+	}
+}
+
+// load resolves a field access to a slot and returns the register caching
+// its row, emitting the load only on first use.
+func (c *compiler) load(a symbolic.Access) (opnd, error) {
+	fi, err := c.getField(a.Fun.Name)
+	if err != nil {
+		return opnd{}, err
+	}
+	f := c.k.Fields[fi]
+	flat := 0
+	for d, o := range a.Off {
+		flat += o * f.Bufs[0].Strides[d]
+	}
+	s := slot{fieldIdx: fi, timeOff: a.TimeOff, flatOff: flat}
+	si, ok := c.slotIdx[s]
+	if !ok {
+		si = int32(len(c.k.slots))
+		c.slotIdx[s] = si
+		c.k.slots = append(c.k.slots, s)
+	}
+	if reg, cached := c.loadCache[si]; cached {
+		return opnd{kind: oPinned, idx: reg}, nil
+	}
+	reg := c.allocReg()
+	c.emit(instr{op: opLoad, rd: reg, b: si})
+	c.loadCache[si] = reg
+	c.cacheReg[reg] = si
+	return opnd{kind: oPinned, idx: reg}, nil
+}
+
+// scalarPrefix folds the maximal scalar-pure prefix of parts into one
+// bind-time pool entry (preserving left-nested order) and returns it with
+// the number of parts consumed; j == 0 means the first part is vector.
+func (c *compiler) scalarPrefix(parts []symbolic.Expr, mul bool) (opnd, int, error) {
+	j := 0
+	for j < len(parts) && c.scalarPure(parts[j]) {
+		j++
+	}
+	if j == 0 {
+		return opnd{}, 0, nil
+	}
+	var group symbolic.Expr
+	if j == 1 {
+		group = parts[0]
+	} else if mul {
+		group = symbolic.Mul{Factors: parts[:j]}
+	} else {
+		group = symbolic.Add{Terms: parts[:j]}
+	}
+	idx, err := c.compileScalar(group)
+	return opnd{kind: oScalar, idx: idx}, j, err
+}
+
+// compileAdd accumulates terms left to right exactly like the
+// interpreter's binary-add chain, fusing multiply terms into madd
+// instructions (mul-then-add with two roundings — dispatch fusion only).
+func (c *compiler) compileAdd(terms []symbolic.Expr) (opnd, error) {
+	acc, i, err := c.scalarPrefix(terms, false)
+	if err != nil {
+		return opnd{}, err
+	}
+	if i == 0 {
+		acc, err = c.compileVec(terms[0])
+		if err != nil {
+			return opnd{}, err
+		}
+		i = 1
+	}
+	for ; i < len(terms); i++ {
+		acc, err = c.addTerm(acc, terms[i])
+		if err != nil {
+			return opnd{}, err
+		}
+	}
+	return acc, nil
+}
+
+func (c *compiler) addTerm(acc opnd, term symbolic.Expr) (opnd, error) {
+	if c.scalarPure(term) {
+		s, err := c.compileScalar(term)
+		if err != nil {
+			return opnd{}, err
+		}
+		if acc.kind == oScalar {
+			return opnd{kind: oScalar, idx: c.scalarBin(sAdd, acc.idx, s)}, nil
+		}
+		return c.addVS(acc, s), nil
+	}
+	if mul, ok := term.(symbolic.Mul); ok && acc.kind != oScalar {
+		partial, last, err := c.compileMulSplit(mul.Factors)
+		if err != nil {
+			return opnd{}, err
+		}
+		if partial.kind != oScalar || last.kind != oScalar {
+			return c.madd(partial, last, acc), nil
+		}
+		// Both halves scalar cannot happen (the term would have been
+		// scalar-pure); recombine defensively.
+		return c.addVS(acc, c.scalarBin(sMul, partial.idx, last.idx)), nil
+	}
+	v, err := c.compileVec(term)
+	if err != nil {
+		return opnd{}, err
+	}
+	if acc.kind == oScalar {
+		// IEEE addition commutes bitwise, so v + s == s + v.
+		return c.addVS(v, acc.idx), nil
+	}
+	rd := c.pick(acc, v)
+	c.emit(instr{op: opAddVV, rd: rd, a: acc.idx, b: v.idx})
+	c.releaseExcept(rd, acc, v)
+	return opnd{kind: oScratch, idx: rd}, nil
+}
+
+func (c *compiler) addVS(v opnd, s int32) opnd {
+	rd := c.pick(v)
+	c.emit(instr{op: opAddVS, rd: rd, a: v.idx, b: s})
+	c.releaseExcept(rd, v)
+	return opnd{kind: oScratch, idx: rd}
+}
+
+func (c *compiler) mulVS(v opnd, s int32) opnd {
+	rd := c.pick(v)
+	c.emit(instr{op: opMulVS, rd: rd, a: v.idx, b: s})
+	c.releaseExcept(rd, v)
+	return opnd{kind: oScratch, idx: rd}
+}
+
+// madd emits rd = x*y + acc, picking the VS form when one multiplicand is
+// a pool scalar (IEEE multiplication commutes bitwise).
+func (c *compiler) madd(x, y, acc opnd) opnd {
+	switch {
+	case x.kind == oScalar:
+		rd := c.pick(acc, y)
+		c.emit(instr{op: opMaddVS, rd: rd, a: y.idx, b: x.idx, c: acc.idx})
+		c.releaseExcept(rd, acc, y)
+		return opnd{kind: oScratch, idx: rd}
+	case y.kind == oScalar:
+		rd := c.pick(acc, x)
+		c.emit(instr{op: opMaddVS, rd: rd, a: x.idx, b: y.idx, c: acc.idx})
+		c.releaseExcept(rd, acc, x)
+		return opnd{kind: oScratch, idx: rd}
+	default:
+		rd := c.pick(acc, x, y)
+		c.emit(instr{op: opMaddVV, rd: rd, a: x.idx, b: y.idx, c: acc.idx})
+		c.releaseExcept(rd, acc, x, y)
+		return opnd{kind: oScratch, idx: rd}
+	}
+}
+
+// compileMul multiplies factors left to right, exactly mirroring the
+// interpreter's binary-multiply chain; scalar-pure factors use the pool.
+func (c *compiler) compileMul(factors []symbolic.Expr) (opnd, error) {
+	acc, i, err := c.scalarPrefix(factors, true)
+	if err != nil {
+		return opnd{}, err
+	}
+	if i == 0 {
+		acc, err = c.compileVec(factors[0])
+		if err != nil {
+			return opnd{}, err
+		}
+		i = 1
+	}
+	if i == len(factors) {
+		return acc, nil
+	}
+	for ; i < len(factors); i++ {
+		f := factors[i]
+		if c.scalarPure(f) {
+			s, err := c.compileScalar(f)
+			if err != nil {
+				return opnd{}, err
+			}
+			if acc.kind == oScalar {
+				acc = opnd{kind: oScalar, idx: c.scalarBin(sMul, acc.idx, s)}
+				continue
+			}
+			acc = c.mulVS(acc, s)
+			continue
+		}
+		v, err := c.compileVec(f)
+		if err != nil {
+			return opnd{}, err
+		}
+		if acc.kind == oScalar {
+			// IEEE multiplication commutes bitwise, so v * s == s * v.
+			acc = c.mulVS(v, acc.idx)
+			continue
+		}
+		rd := c.pick(acc, v)
+		c.emit(instr{op: opMulVV, rd: rd, a: acc.idx, b: v.idx})
+		c.releaseExcept(rd, acc, v)
+		acc = opnd{kind: oScratch, idx: rd}
+	}
+	return acc, nil
+}
+
+// compileMulSplit evaluates the product of all factors but the last (in
+// interpreter order) and returns it with the compiled last factor, so the
+// caller can fuse the final multiply into an accumulate.
+func (c *compiler) compileMulSplit(factors []symbolic.Expr) (opnd, opnd, error) {
+	n := len(factors)
+	var partial opnd
+	var err error
+	if n == 2 {
+		partial, err = c.compileVec(factors[0])
+	} else {
+		partial, err = c.compileMul(factors[:n-1])
+	}
+	if err != nil {
+		return opnd{}, opnd{}, err
+	}
+	last, err := c.compileVec(factors[n-1])
+	if err != nil {
+		return opnd{}, opnd{}, err
+	}
+	return partial, last, nil
+}

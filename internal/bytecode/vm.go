@@ -1,0 +1,233 @@
+package bytecode
+
+import (
+	"sync"
+
+	"devigo/internal/runtime"
+)
+
+// Run executes the compiled program at every point of the box for logical
+// timestep t, with the scalar pool from BindSyms. It preserves the
+// interpreter's execution contract exactly: row-major point order,
+// equations in program order at each point, tiling over the outer
+// dimension, optional worker-pool parallelism and the Progress prod
+// between tiles — so all halo-exchange modes run unchanged on either
+// engine.
+func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpts) {
+	if b.Empty() {
+		return
+	}
+	workers, tileRows := 1, 0
+	var progress func()
+	if opts != nil {
+		if opts.Workers > 1 {
+			workers = opts.Workers
+		}
+		tileRows = opts.TileRows
+		progress = opts.Progress
+	}
+	// Resolve per-(field,timeOff) data slices once per step.
+	slotData := make([][]float32, len(k.slots))
+	for i, s := range k.slots {
+		slotData[i] = k.Fields[s.fieldIdx].Buf(t + s.timeOff).Data
+	}
+	outData := make([][]float32, len(k.eqs))
+	for i, e := range k.eqs {
+		outData[i] = k.Fields[e.outField].Buf(t + e.outTimeOff).Data
+	}
+
+	nd := len(b.Lo)
+	outer := b.Hi[0] - b.Lo[0]
+	if tileRows <= 0 || tileRows > outer {
+		tileRows = outer
+	}
+	type tile struct{ lo, hi int }
+	var tiles []tile
+	for lo := b.Lo[0]; lo < b.Hi[0]; lo += tileRows {
+		hi := lo + tileRows
+		if hi > b.Hi[0] {
+			hi = b.Hi[0]
+		}
+		tiles = append(tiles, tile{lo, hi})
+	}
+
+	// The register file holds whole rows; size it for the longest row a
+	// tile can produce (in 1-D the tile itself is the row).
+	maxRow := b.Hi[nd-1] - b.Lo[nd-1]
+	if nd == 1 {
+		maxRow = tileRows
+	}
+
+	runTile := func(tl tile, regs []float64) {
+		// Odometer over dims 0..nd-2 within the tile; the innermost
+		// dimension is the contiguous row one sweep processes at once.
+		idx := make([]int, nd)
+		copy(idx, b.Lo)
+		idx[0] = tl.lo
+		bases := make([]int, len(k.Fields))
+		rowLen := b.Hi[nd-1] - b.Lo[nd-1]
+		if nd == 1 {
+			rowLen = tl.hi - tl.lo
+		}
+		for {
+			// Row start base per field (domain-relative -> buffer index).
+			for fi, f := range k.Fields {
+				base := 0
+				for d := 0; d < nd; d++ {
+					base += (idx[d] + f.Halo[d]) * f.Bufs[0].Strides[d]
+				}
+				bases[fi] = base
+			}
+			k.sweep(regs, maxRow, rowLen, bases, slotData, outData, pool)
+			// Advance the odometer over dims nd-2 .. 0 (dim 0 bounded by
+			// the tile).
+			d := nd - 2
+			for ; d >= 0; d-- {
+				idx[d]++
+				limit := b.Hi[d]
+				if d == 0 {
+					limit = tl.hi
+				}
+				if idx[d] < limit {
+					break
+				}
+				if d == 0 {
+					break
+				}
+				idx[d] = b.Lo[d]
+			}
+			if d < 0 {
+				break
+			}
+			if d == 0 && idx[0] >= tl.hi {
+				break
+			}
+		}
+	}
+
+	if workers <= 1 {
+		regs := make([]float64, k.numRegs*maxRow)
+		for _, tl := range tiles {
+			runTile(tl, regs)
+			if progress != nil {
+				progress()
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan tile, len(tiles))
+	for _, tl := range tiles {
+		work <- tl
+	}
+	close(work)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(isFirst bool) {
+			defer wg.Done()
+			regs := make([]float64, k.numRegs*maxRow)
+			for tl := range work {
+				runTile(tl, regs)
+				// One worker doubles as the progress engine, mirroring
+				// the sacrificed OpenMP thread of the paper's full mode.
+				if isFirst && progress != nil {
+					progress()
+				}
+			}
+		}(wkr == 0)
+	}
+	wg.Wait()
+}
+
+// sweep executes the flat program once over one row of n points. stride is
+// the register-file row pitch (>= n).
+func (k *Kernel) sweep(regs []float64, stride, n int, bases []int, slotData, outData [][]float32, pool []float64) {
+	reg := func(r int32) []float64 {
+		off := int(r) * stride
+		return regs[off : off+n]
+	}
+	for pi := range k.prog {
+		in := &k.prog[pi]
+		switch in.op {
+		case opLoad:
+			s := &k.slots[in.b]
+			off := bases[s.fieldIdx] + s.flatOff
+			src := slotData[in.b][off : off+n]
+			rd := reg(in.rd)
+			for i, v := range src {
+				rd[i] = float64(v)
+			}
+		case opStore:
+			e := &k.eqs[in.b]
+			off := bases[e.outField]
+			dst := outData[in.b][off : off+n]
+			ra := reg(in.a)
+			for i, v := range ra {
+				dst[i] = float32(v)
+			}
+		case opCopy:
+			copy(reg(in.rd), reg(in.a))
+		case opMovS:
+			rd, v := reg(in.rd), pool[in.b]
+			for i := range rd {
+				rd[i] = v
+			}
+		case opAddVV:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			rb := reg(in.b)[:len(rd)]
+			for i := range rd {
+				rd[i] = ra[i] + rb[i]
+			}
+		case opAddVS:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			s := pool[in.b]
+			for i := range rd {
+				rd[i] = ra[i] + s
+			}
+		case opMulVV:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			rb := reg(in.b)[:len(rd)]
+			for i := range rd {
+				rd[i] = ra[i] * rb[i]
+			}
+		case opMulVS:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			s := pool[in.b]
+			for i := range rd {
+				rd[i] = ra[i] * s
+			}
+		case opMaddVV:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			rb := reg(in.b)[:len(rd)]
+			rc := reg(in.c)[:len(rd)]
+			// Mul then add, each rounded: dispatch fusion only. The
+			// explicit float64 conversion forces the intermediate
+			// rounding (Go spec), forbidding hardware-FMA contraction on
+			// arm64 et al. that would break bit-exactness with the
+			// interpreter's two ops.
+			for i := range rd {
+				rd[i] = float64(ra[i]*rb[i]) + rc[i]
+			}
+		case opMaddVS:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			rc := reg(in.c)[:len(rd)]
+			s := pool[in.b]
+			for i := range rd {
+				rd[i] = float64(ra[i]*s) + rc[i]
+			}
+		case opPowV:
+			rd := reg(in.rd)
+			ra := reg(in.a)[:len(rd)]
+			e := int(in.b)
+			for i := range rd {
+				rd[i] = ipow(ra[i], e)
+			}
+		}
+	}
+}

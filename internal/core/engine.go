@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"devigo/internal/bytecode"
+	"devigo/internal/field"
+	"devigo/internal/runtime"
+	"devigo/internal/symbolic"
+)
+
+// Execution engines. The bytecode register VM is the default; the
+// expression-tree interpreter remains as the reference implementation and
+// escape hatch. Both produce bit-identical results — the differential
+// tests enforce it — so the choice is purely a performance/debugging one.
+const (
+	// EngineBytecode compiles each cluster to flat register bytecode run
+	// by a row-sweep VM (package bytecode).
+	EngineBytecode = "bytecode"
+	// EngineInterpreter walks a per-point stack program (package runtime).
+	EngineInterpreter = "interpreter"
+)
+
+// EngineEnvVar overrides the default engine when Options.Engine is unset.
+const EngineEnvVar = "DEVIGO_ENGINE"
+
+// execKernel is the per-cluster execution contract both engines satisfy.
+// Run's scalar vector is whatever the same kernel's BindSyms produced
+// (the interpreter's symbol bindings, the bytecode engine's scalar pool).
+type execKernel interface {
+	Run(t int, b runtime.Box, syms []float64, opts *runtime.ExecOpts)
+	BindSyms(vals map[string]float64) ([]float64, error)
+	FlopsPerPoint() int
+	StencilRadius() []int
+}
+
+// resolveEngine picks the execution engine: explicit Options.Engine wins,
+// then the DEVIGO_ENGINE environment variable, then the bytecode default.
+func resolveEngine(requested string) (string, error) {
+	e := strings.ToLower(strings.TrimSpace(requested))
+	if e == "" {
+		e = strings.ToLower(strings.TrimSpace(os.Getenv(EngineEnvVar)))
+	}
+	switch e {
+	case "":
+		return EngineBytecode, nil
+	case EngineBytecode, "vm":
+		return EngineBytecode, nil
+	case EngineInterpreter, "interp":
+		return EngineInterpreter, nil
+	}
+	return "", fmt.Errorf("core: unknown engine %q (want %q or %q)", e, EngineBytecode, EngineInterpreter)
+}
+
+// compileStep compiles one optimized loop nest with the selected engine.
+func compileStep(engine string, assigns []symbolic.Assignment, eqs []symbolic.Eq,
+	radius []int, fields map[string]*field.Function) (execKernel, error) {
+	switch engine {
+	case EngineInterpreter:
+		return runtime.CompileNest(assigns, eqs, radius, fields)
+	default:
+		return bytecode.CompileNest(assigns, eqs, radius, fields)
+	}
+}

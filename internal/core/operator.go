@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"devigo/internal/codegen"
@@ -44,7 +45,7 @@ type Operator struct {
 	CCode    string
 
 	ctx        *Context
-	kernels    []*runtime.Kernel
+	kernels    []execKernel
 	exchangers map[string]halo.Exchanger
 	execOpts   runtime.ExecOpts
 	// stepExt[i] is the box extension (points beyond DOMAIN per side) for
@@ -65,12 +66,25 @@ type Perf struct {
 	PointsUpdated  int64
 	Timesteps      int
 	FlopsPerPoint  int
+	// Engine names the execution engine the kernels compiled to
+	// (EngineBytecode or EngineInterpreter).
+	Engine string
 }
 
-// GPtss returns the achieved throughput in gigapoints per second.
+// GPtss returns the achieved throughput in gigapoints per second. It is
+// robust to partially populated counters: a NaN or negative section time
+// (a clock glitch, or a caller that only filled one of the two sections)
+// contributes zero rather than poisoning the result.
 func (p Perf) GPtss() float64 {
-	total := p.ComputeSeconds + p.HaloSeconds
-	if total <= 0 {
+	c, h := p.ComputeSeconds, p.HaloSeconds
+	if math.IsNaN(c) || c < 0 {
+		c = 0
+	}
+	if math.IsNaN(h) || h < 0 {
+		h = 0
+	}
+	total := c + h
+	if total <= 0 || p.PointsUpdated <= 0 {
 		return 0
 	}
 	return float64(p.PointsUpdated) / total / 1e9
@@ -84,14 +98,26 @@ type Options struct {
 	Workers int
 	// TileRows controls progress granularity for overlap mode.
 	TileRows int
+	// Engine selects the execution engine: EngineBytecode (default) or
+	// EngineInterpreter. The DEVIGO_ENGINE environment variable applies
+	// when unset.
+	Engine string
 }
 
 // NewOperator compiles equations against field storage. fields must hold
 // every function referenced. ctx may be nil for serial execution.
 func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.Grid, ctx *Context, opts *Options) (*Operator, error) {
 	name := "Kernel"
-	if opts != nil && opts.Name != "" {
-		name = opts.Name
+	requestedEngine := ""
+	if opts != nil {
+		if opts.Name != "" {
+			name = opts.Name
+		}
+		requestedEngine = opts.Engine
+	}
+	engine, err := resolveEngine(requestedEngine)
+	if err != nil {
+		return nil, err
 	}
 	nd := g.NDims()
 
@@ -169,6 +195,7 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		ctx:        ctx,
 		exchangers: map[string]halo.Exchanger{},
 	}
+	op.perf.Engine = engine
 	if opts != nil {
 		op.execOpts.Workers = opts.Workers
 		op.execOpts.TileRows = opts.TileRows
@@ -191,7 +218,7 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		}
 	}
 	for i, st := range sched.Steps {
-		k, err := runtime.CompileNest(nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
+		k, err := compileStep(engine, nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
 		if err != nil {
 			return nil, err
 		}
@@ -337,7 +364,7 @@ func (op *Operator) useOverlap(si int) bool {
 // compute with MPI_Test progress prods, wait, REMAINDER compute.
 func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, localShape []int) {
 	k := op.kernels[si]
-	radius := k.Radius
+	radius := k.StencilRadius()
 	hs := time.Now()
 	for _, h := range st.Halos {
 		if ex, ok := op.exchangers[h.Field]; ok {
@@ -395,8 +422,14 @@ func (op *Operator) anyField() *field.Function {
 // Report returns the accumulated performance counters.
 func (op *Operator) Report() Perf { return op.perf }
 
-// ResetPerf clears the performance counters.
-func (op *Operator) ResetPerf() { op.perf = Perf{FlopsPerPoint: op.perf.FlopsPerPoint} }
+// ResetPerf clears the performance counters, preserving the compile-time
+// facts (flop cost, engine).
+func (op *Operator) ResetPerf() {
+	op.perf = Perf{FlopsPerPoint: op.perf.FlopsPerPoint, Engine: op.perf.Engine}
+}
+
+// Engine reports which execution engine the operator compiled to.
+func (op *Operator) Engine() string { return op.perf.Engine }
 
 // collectNests returns the loop nests of the time-loop body in step order,
 // looking through overlap sections (whose Core and Remainder share one

@@ -377,3 +377,82 @@ func TestPostStepHookRuns(t *testing.T) {
 		t.Errorf("post steps = %v", steps)
 	}
 }
+
+func TestEngineSelection(t *testing.T) {
+	g := grid.MustNew([]int{8, 8}, nil)
+	mk := func(engine string) (*Operator, error) {
+		u, err := field.NewTimeFunction("u", g, 2, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq := symbolic.Eq{
+			LHS: symbolic.Dt(symbolic.At(u.Ref), 1),
+			RHS: symbolic.Laplace(symbolic.At(u.Ref), 2, 2),
+		}
+		sol, err := symbolic.Solve(eq, symbolic.ForwardStencil(u.Ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewOperator(
+			[]symbolic.Eq{{LHS: symbolic.ForwardStencil(u.Ref), RHS: sol}},
+			map[string]*field.Function{"u": &u.Function}, g, nil, &Options{Engine: engine})
+	}
+
+	// Default is the bytecode register VM.
+	op, err := mk("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Engine() != EngineBytecode {
+		t.Errorf("default engine = %q, want %q", op.Engine(), EngineBytecode)
+	}
+	// Explicit interpreter selection, preserved across ResetPerf.
+	op, err = mk(EngineInterpreter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Engine() != EngineInterpreter {
+		t.Errorf("engine = %q, want %q", op.Engine(), EngineInterpreter)
+	}
+	op.ResetPerf()
+	if op.Report().Engine != EngineInterpreter {
+		t.Error("ResetPerf dropped the engine label")
+	}
+	// Unknown engines are rejected.
+	if _, err := mk("llvm"); err == nil {
+		t.Error("unknown engine should error")
+	}
+	// Environment-variable fallback.
+	t.Setenv(EngineEnvVar, EngineInterpreter)
+	op, err = mk("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Engine() != EngineInterpreter {
+		t.Errorf("env-selected engine = %q, want %q", op.Engine(), EngineInterpreter)
+	}
+}
+
+func TestGPtssRobustness(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Perf
+		want func(v float64) bool
+	}{
+		{"zeroed", Perf{}, func(v float64) bool { return v == 0 }},
+		{"compute only", Perf{ComputeSeconds: 2, PointsUpdated: 4e9},
+			func(v float64) bool { return math.Abs(v-2) < 1e-12 }},
+		{"halo only", Perf{HaloSeconds: 1, PointsUpdated: 1e9},
+			func(v float64) bool { return math.Abs(v-1) < 1e-12 }},
+		{"nan compute", Perf{ComputeSeconds: math.NaN(), HaloSeconds: 1, PointsUpdated: 1e9},
+			func(v float64) bool { return math.Abs(v-1) < 1e-12 }},
+		{"negative halo", Perf{ComputeSeconds: 1, HaloSeconds: -5, PointsUpdated: 1e9},
+			func(v float64) bool { return math.Abs(v-1) < 1e-12 }},
+		{"no points", Perf{ComputeSeconds: 1}, func(v float64) bool { return v == 0 }},
+	}
+	for _, c := range cases {
+		if got := c.p.GPtss(); !c.want(got) {
+			t.Errorf("%s: GPtss() = %v", c.name, got)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package propagators
+
+import (
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+)
+
+// The differential suite is the bytecode engine's acceptance gate: for
+// every propagator, the register-VM kernels must produce *bit-identical*
+// wavefields to the expression-tree interpreter — serially and on every
+// rank of a distributed run under each halo-exchange mode. Equality is
+// exact (==), not tolerance-based: both engines are required to emit the
+// same float64 operation sequence per point.
+
+// runEngineSerial executes nt steps of a freshly built model with the
+// given engine and returns the model (for field inspection) and result.
+func runEngineSerial(t *testing.T, name, engine string, shape []int, so, nt int) (*Model, *RunResult) {
+	t.Helper()
+	m, err := Build(name, serialCfg(shape, so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: nt, NReceivers: 4, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+// compareModels asserts bitwise equality of every buffer of every field.
+func compareModels(t *testing.T, label string, a, b *Model) {
+	t.Helper()
+	for name, fa := range a.Fields {
+		fb := b.Fields[name]
+		for bi := range fa.Bufs {
+			da, db := fa.Bufs[bi].Data, fb.Bufs[bi].Data
+			for i := range da {
+				if da[i] != db[i] && (da[i] == da[i] || db[i] == db[i]) { // NaN==NaN passes
+					t.Fatalf("%s: field %s buf %d diverges at %d: bytecode=%v interpreter=%v",
+						label, name, bi, i, da[i], db[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineDifferential_SerialAllModels(t *testing.T) {
+	shape := []int{24, 24}
+	for _, name := range ModelNames() {
+		t.Run(name, func(t *testing.T) {
+			mB, resB := runEngineSerial(t, name, core.EngineBytecode, shape, 4, 30)
+			mI, resI := runEngineSerial(t, name, core.EngineInterpreter, shape, 4, 30)
+			if resB.Perf.Engine != core.EngineBytecode || resI.Perf.Engine != core.EngineInterpreter {
+				t.Fatalf("engine labels wrong: %q vs %q", resB.Perf.Engine, resI.Perf.Engine)
+			}
+			if resB.Norm != resI.Norm {
+				t.Errorf("%s: norms diverge: bytecode %v, interpreter %v", name, resB.Norm, resI.Norm)
+			}
+			for it := range resB.Receivers {
+				for r := range resB.Receivers[it] {
+					if resB.Receivers[it][r] != resI.Receivers[it][r] {
+						t.Fatalf("%s: trace (%d,%d) diverges", name, it, r)
+					}
+				}
+			}
+			compareModels(t, name, mB, mI)
+		})
+	}
+}
+
+func TestEngineDifferential_Serial3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-D differential skipped in -short")
+	}
+	for _, name := range []string{"acoustic", "elastic", "tti"} {
+		t.Run(name, func(t *testing.T) {
+			mB, resB := runEngineSerial(t, name, core.EngineBytecode, []int{14, 14, 14}, 4, 10)
+			mI, resI := runEngineSerial(t, name, core.EngineInterpreter, []int{14, 14, 14}, 4, 10)
+			if resB.Norm != resI.Norm {
+				t.Errorf("%s 3-D: norms diverge: %v vs %v", name, resB.Norm, resI.Norm)
+			}
+			compareModels(t, name, mB, mI)
+		})
+	}
+}
+
+// runEngineDMP runs a model over a 2x2 decomposition and returns the
+// rank-0 norm and receiver traces.
+func runEngineDMP(t *testing.T, name, engine string, shape []int, mode halo.Mode, so, nt int) (float64, [][]float64) {
+	t.Helper()
+	w := mpi.NewWorld(4)
+	var norm float64
+	var traces [][]float64
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, so)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build(name, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, Engine: engine, Workers: 2, TileRows: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			norm = res.Norm
+			traces = res.Receivers
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, traces
+}
+
+func TestEngineDifferential_DMPAllModelsAllModes(t *testing.T) {
+	shape := []int{24, 24}
+	so, nt := 4, 20
+	for _, name := range []string{"acoustic", "elastic", "tti"} {
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				normB, tracesB := runEngineDMP(t, name, core.EngineBytecode, shape, mode, so, nt)
+				normI, tracesI := runEngineDMP(t, name, core.EngineInterpreter, shape, mode, so, nt)
+				if normB != normI {
+					t.Errorf("%s/%s: 4-rank norms diverge: bytecode %v, interpreter %v",
+						name, mode, normB, normI)
+				}
+				for it := range tracesB {
+					for r := range tracesB[it] {
+						if tracesB[it][r] != tracesI[it][r] {
+							t.Fatalf("%s/%s: trace (%d,%d) diverges: %v vs %v",
+								name, mode, it, r, tracesB[it][r], tracesI[it][r])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineDifferential_BytecodeFaster is a coarse perf regression guard
+// (the precise numbers live in cmd/devigo-bench): on the acoustic kernel
+// the register VM must not be slower than the tree-walking interpreter.
+func TestEngineDifferential_BytecodeFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf guard skipped in -short")
+	}
+	shape := []int{96, 96}
+	_, resB := runEngineSerial(t, "acoustic", core.EngineBytecode, shape, 8, 40)
+	_, resI := runEngineSerial(t, "acoustic", core.EngineInterpreter, shape, 8, 40)
+	gB, gI := resB.Perf.GPtss(), resI.Perf.GPtss()
+	if gB <= 0 || gI <= 0 {
+		t.Fatalf("throughputs missing: bytecode %v, interpreter %v", gB, gI)
+	}
+	if gB < gI {
+		t.Errorf("bytecode engine slower than interpreter: %.3f vs %.3f GPts/s", gB, gI)
+	}
+	t.Logf("acoustic 96x96 so-8: bytecode %.3f GPts/s, interpreter %.3f GPts/s (%.2fx)",
+		gB, gI, gB/gI)
+}

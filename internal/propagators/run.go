@@ -26,6 +26,8 @@ type RunConfig struct {
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
+	// Engine selects the execution engine ("" = core default).
+	Engine string
 }
 
 // RunResult carries the outputs of a forward run.
@@ -60,7 +62,7 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 		nt = int(rc.Time/dt) + 1
 	}
 	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx,
-		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows})
+		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows, Engine: rc.Engine})
 	if err != nil {
 		return nil, err
 	}

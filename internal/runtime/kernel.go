@@ -234,6 +234,10 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 	return k, nil
 }
 
+// StencilRadius returns the per-dimension stencil radius (the execution
+// contract shared with the bytecode engine).
+func (k *Kernel) StencilRadius() []int { return k.Radius }
+
 // FlopsPerPoint reports the per-point flop cost of the compiled kernel.
 func (k *Kernel) FlopsPerPoint() int {
 	n := 0

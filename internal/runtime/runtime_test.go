@@ -251,6 +251,53 @@ func TestEmptyBoxNoOp(t *testing.T) {
 	}
 }
 
+func TestBoxEdgeCases(t *testing.T) {
+	// Size/Empty on degenerate boxes.
+	cases := []struct {
+		box  Box
+		size int
+	}{
+		{Box{Lo: []int{0, 0}, Hi: []int{0, 5}}, 0},   // zero extent
+		{Box{Lo: []int{3, 2}, Hi: []int{1, 5}}, 0},    // inverted
+		{Box{Lo: []int{0}, Hi: []int{7}}, 7},          // 1-D
+		{Box{Lo: []int{-2, -2}, Hi: []int{2, 2}}, 16}, // CIRE-extended
+	}
+	for _, c := range cases {
+		if got := c.box.Size(); got != c.size {
+			t.Errorf("Size(%v) = %d, want %d", c.box, got, c.size)
+		}
+		if c.box.Empty() != (c.size == 0) {
+			t.Errorf("Empty(%v) inconsistent with Size", c.box)
+		}
+	}
+}
+
+func TestTileLargerThanOuterDim(t *testing.T) {
+	// A TileRows beyond the outer extent must clamp to one tile and still
+	// update every point exactly once.
+	g := grid.MustNew([]int{5, 9}, nil)
+	kBig, uBig := buildDiffusion(t, g, 2)
+	kRef, uRef := buildDiffusion(t, g, 2)
+	init := func(u *field.TimeFunction) {
+		buf := u.Buf(0)
+		for i := range buf.Data {
+			buf.Data[i] = float32((i*3)%11) * 0.5
+		}
+	}
+	init(uBig)
+	init(uRef)
+	vals := map[string]float64{"dt": 0.1, "h_x": 1, "h_y": 1}
+	symsBig, _ := kBig.BindSyms(vals)
+	symsRef, _ := kRef.BindSyms(vals)
+	kBig.Run(0, fullDomainBox(&uBig.Function), symsBig, &ExecOpts{TileRows: 1 << 20})
+	kRef.Run(0, fullDomainBox(&uRef.Function), symsRef, nil)
+	for i := range uRef.Buf(1).Data {
+		if uBig.Buf(1).Data[i] != uRef.Buf(1).Data[i] {
+			t.Fatalf("oversized tile diverges at %d", i)
+		}
+	}
+}
+
 func TestFlopsPerPointMatchesCluster(t *testing.T) {
 	g := grid.MustNew([]int{8, 8}, nil)
 	k, _ := buildDiffusion(t, g, 8)

@@ -1,6 +1,7 @@
 package devigo
 
 import (
+	"devigo/internal/mpi"
 	"devigo/internal/sparse"
 )
 
@@ -35,8 +36,13 @@ func (s *SparseFunction) Inject(f *Function, t int, vals []float32) error {
 
 // Interpolate reads time buffer t of f at every point; under DMP the
 // partial sums are all-reduced so every rank receives complete values.
+// On serial grids (no environment) no communicator is consulted,
+// mirroring the nil-safe pattern of Function.Data.
 func (s *SparseFunction) Interpolate(f *Function, t int) []float64 {
-	var comm = s.grid.env.Comm()
+	var comm *mpi.Comm
+	if s.grid.env != nil {
+		comm = s.grid.env.Comm()
+	}
 	return s.s.Interpolate(f.f, t, comm)
 }
 
