@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"devigo/internal/checkpoint"
+	"devigo/internal/core"
+	"devigo/internal/propagators"
+)
+
+// AdjointEngineMetrics records one engine's measured gradient computation.
+type AdjointEngineMetrics struct {
+	// Seconds is the wall time of the full checkpointed gradient
+	// (forward + reverse sweep + recomputation).
+	Seconds float64 `json:"seconds"`
+	// Forward/Adjoint split the operators' section timings.
+	Forward EngineMetrics `json:"forward"`
+	Adjoint EngineMetrics `json:"adjoint"`
+	// RelError is the dot-product identity gap of this run (float32
+	// wavefield regime — see dot_test for the exact certification).
+	RelError float64 `json:"rel_error"`
+	// GradNorm is the L2 norm of the produced gradient.
+	GradNorm float64 `json:"grad_norm"`
+}
+
+// AdjointDotTest is the exact-arithmetic adjointness certification block:
+// rel_error must stay <= 1e-8 (it is ~0 when the adjoint is the exact
+// discrete transpose); CI gates on it.
+type AdjointDotTest struct {
+	NT         int     `json:"nt"`
+	DotForward float64 `json:"dot_forward"`
+	DotAdjoint float64 `json:"dot_adjoint"`
+	RelError   float64 `json:"rel_error"`
+}
+
+// AdjointReport is the BENCH_adjoint.json schema.
+type AdjointReport struct {
+	Scenario           string                          `json:"scenario"`
+	Shape              []int                           `json:"shape"`
+	SpaceOrder         int                             `json:"space_order"`
+	NT                 int                             `json:"nt"`
+	CheckpointInterval int                             `json:"checkpoint_interval"`
+	Snapshots          int                             `json:"snapshots"`
+	SnapshotBytes      int64                           `json:"snapshot_bytes"`
+	RecomputedSteps    int                             `json:"recomputed_steps"`
+	DotTest            AdjointDotTest                  `json:"dot_test"`
+	Engines            map[string]AdjointEngineMetrics `json:"engines"`
+}
+
+// runAdjoint measures the checkpointed acoustic gradient with both
+// engines, certifies the dot-product identity with the exact-arithmetic
+// configuration, and writes BENCH_adjoint.json.
+func runAdjoint(size, nt, ckpt int, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	cert, err := propagators.RunDotTest(nil, "")
+	if err != nil {
+		return fmt.Errorf("dot-product certification: %w", err)
+	}
+	fmt.Printf("Adjoint certification (exact arithmetic): <Fq,Fq>=%.9g <q,F'Fq>=%.9g rel=%.3g\n",
+		cert.DotForward, cert.DotAdjoint, cert.RelErr)
+	if cert.RelErr > 1e-8 {
+		return fmt.Errorf("adjoint dot-product identity violated: rel error %g > 1e-8", cert.RelErr)
+	}
+
+	interval := ckpt
+	if interval <= 0 {
+		interval = checkpoint.DefaultInterval(nt)
+	}
+	const so = 8
+	report := AdjointReport{
+		Scenario:           "adjoint",
+		Shape:              []int{size, size},
+		SpaceOrder:         so,
+		NT:                 nt,
+		CheckpointInterval: interval,
+		DotTest: AdjointDotTest{
+			NT:         cert.NT,
+			DotForward: cert.DotForward,
+			DotAdjoint: cert.DotAdjoint,
+			RelError:   cert.RelErr,
+		},
+		Engines: map[string]AdjointEngineMetrics{},
+	}
+	fmt.Printf("Measured gradient, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
+	fmt.Printf("%-14s %10s %12s %12s %12s\n", "engine", "seconds", "fwd GPts/s", "adj GPts/s", "rel err")
+	for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
+		m, err := propagators.Acoustic(propagators.Config{
+			Shape: []int{size, size}, SpaceOrder: so, NBL: 8, Velocity: 1.5,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := propagators.RunGradient(m, nil, propagators.GradientConfig{
+			NT: nt, NReceivers: 8, CheckpointInterval: interval, Engine: engine,
+		})
+		if err != nil {
+			return fmt.Errorf("gradient (%s): %w", engine, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		report.Engines[engine] = AdjointEngineMetrics{
+			Seconds:  elapsed,
+			Forward:  engineMetrics(res.ForwardPerf),
+			Adjoint:  engineMetrics(res.AdjointPerf),
+			RelError: res.RelErr,
+			GradNorm: res.GradNorm,
+		}
+		report.Snapshots = res.Checkpoint.Snapshots
+		report.SnapshotBytes = res.Checkpoint.SnapshotBytes
+		report.RecomputedSteps = res.Checkpoint.RecomputedSteps
+		fmt.Printf("%-14s %10.3f %12.4f %12.4f %12.2e\n",
+			engine, elapsed, res.ForwardPerf.GPtss(), res.AdjointPerf.GPtss(), res.RelErr)
+	}
+	path := filepath.Join(outDir, "BENCH_adjoint.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+func engineMetrics(p core.Perf) EngineMetrics {
+	return EngineMetrics{
+		GPtss:          p.GPtss(),
+		ComputeSeconds: p.ComputeSeconds,
+		HaloSeconds:    p.HaloSeconds,
+		PointsUpdated:  p.PointsUpdated,
+		FlopsPerPoint:  p.FlopsPerPoint,
+	}
+}

@@ -35,17 +35,22 @@ type ExecReport struct {
 // runExec measures the *real* executor (not the performance model) on
 // each scenario with both engines, prints a comparison table and writes
 // BENCH_<scenario>.json into outDir (suffixed _so<k> when several space
-// orders are requested).
-func runExec(models []string, sos []int, size, nt int, outDir string) {
+// orders are requested). Any failed or degenerate measurement is an
+// error: the process must exit non-zero so CI perf gates can trust the
+// emitted files.
+func runExec(models []string, sos []int, size, nt int, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	for _, so := range sos {
-		runExecSO(models, so, size, nt, outDir, len(sos) > 1)
+		if err := runExecSO(models, so, size, nt, outDir, len(sos) > 1); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) {
+func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) error {
 	fmt.Printf("Measured execution, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
 	fmt.Printf("%-14s %14s %14s %10s\n", "scenario", "interp GPts/s", "bytec GPts/s", "speedup")
 	for _, model := range models {
@@ -59,7 +64,10 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 		for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
 			perf, err := measure(model, engine, size, so, nt)
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("%s (%s): %w", model, engine, err)
+			}
+			if perf.GPtss() <= 0 {
+				return fmt.Errorf("%s (%s): degenerate measurement (no throughput)", model, engine)
 			}
 			report.Engines[engine] = EngineMetrics{
 				GPtss:          perf.GPtss(),
@@ -82,13 +90,14 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 		path := filepath.Join(outDir, name)
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("  wrote %s\n", path)
 	}
+	return nil
 }
 
 // measure builds the scenario fresh (its own storage) and runs all nt

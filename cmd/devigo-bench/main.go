@@ -19,6 +19,16 @@
 // tracking the performance trajectory across PRs:
 //
 //	devigo-bench -exp exec -model all -size 256 -nt 30 -out .
+//
+// -exp adjoint measures the checkpointed adjoint/gradient subsystem: it
+// certifies the discrete dot-product identity <Fq,d> = <q,F'd> (exiting
+// non-zero if the identity is violated), times a full gradient with both
+// engines and writes BENCH_adjoint.json:
+//
+//	devigo-bench -exp adjoint -size 128 -nt 60 -ckpt 8 -out .
+//
+// Every experiment reports failures through the process exit status so CI
+// gates can consume the tool directly.
 package main
 
 import (
@@ -33,25 +43,35 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
-	size := flag.Int("size", 256, "exec: square grid extent per side")
-	nt := flag.Int("nt", 30, "exec: timesteps to measure")
-	out := flag.String("out", ".", "exec: directory for BENCH_<scenario>.json")
+	size := flag.Int("size", 256, "exec/adjoint: square grid extent per side")
+	nt := flag.Int("nt", 30, "exec/adjoint: timesteps to measure")
+	ckpt := flag.Int("ckpt", 0, "adjoint: checkpoint interval (0 = sqrt(nt))")
+	out := flag.String("out", ".", "exec/adjoint: directory for BENCH_*.json")
 	flag.Parse()
 
-	sos, err := parseSOs(*soFlag)
-	if err != nil {
-		fatal(err)
+	if err := run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "devigo-bench:", err)
+		os.Exit(1)
 	}
-	models := []string{*model}
-	if *model == "all" {
+}
+
+// run dispatches one experiment; any failure propagates to a non-zero
+// exit so CI jobs consuming the tool can actually fail.
+func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error {
+	sos, err := parseSOs(soFlag)
+	if err != nil {
+		return err
+	}
+	models := []string{model}
+	if model == "all" {
 		models = []string{"acoustic", "elastic", "tti", "viscoelastic"}
 	}
 	var machines []perfmodel.Machine
-	switch *arch {
+	switch arch {
 	case "cpu":
 		machines = []perfmodel.Machine{perfmodel.Archer2Node()}
 	case "gpu":
@@ -59,47 +79,55 @@ func main() {
 	case "all":
 		machines = []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
 	default:
-		fatal(fmt.Errorf("unknown arch %q", *arch))
+		return fmt.Errorf("unknown arch %q", arch)
 	}
 
-	switch *exp {
+	switch exp {
 	case "strong":
-		runStrong(models, sos, machines)
+		return runStrong(models, sos, machines)
 	case "weak":
-		runWeak(models, sos, machines)
+		return runWeak(models, sos, machines)
 	case "roofline":
-		runRoofline(sos)
+		return runRoofline(sos)
 	case "selectmode":
-		runSelectMode(sos)
+		return runSelectMode(sos)
 	case "exec":
-		runExec(models, sos, *size, *nt, *out)
+		return runExec(models, sos, size, nt, out)
+	case "adjoint":
+		return runAdjoint(size, nt, ckpt, out)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
-		runRoofline([]int{8})
-		runStrong(all, sos, both)
-		runWeak(all, sos, both)
-		runSelectMode([]int{8})
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		if err := runRoofline([]int{8}); err != nil {
+			return err
+		}
+		if err := runStrong(all, sos, both); err != nil {
+			return err
+		}
+		if err := runWeak(all, sos, both); err != nil {
+			return err
+		}
+		return runSelectMode([]int{8})
 	}
+	return fmt.Errorf("unknown experiment %q", exp)
 }
 
-func runStrong(models []string, sos []int, machines []perfmodel.Machine) {
+func runStrong(models []string, sos []int, machines []perfmodel.Machine) error {
 	for _, m := range machines {
 		for _, model := range models {
 			for _, so := range sos {
 				tbl, err := perfmodel.StrongScaling(model, so, m)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				fmt.Println(tbl.Format())
 			}
 		}
 	}
+	return nil
 }
 
-func runWeak(models []string, sos []int, machines []perfmodel.Machine) {
+func runWeak(models []string, sos []int, machines []perfmodel.Machine) error {
 	for _, so := range sos {
 		fmt.Printf("MPI-X weak scaling runtime (seconds), so-%02d (paper Fig. 12/21-24)\n", so)
 		fmt.Printf("%-18s", "series/nodes")
@@ -116,7 +144,7 @@ func runWeak(models []string, sos []int, machines []perfmodel.Machine) {
 				for _, mode := range modes {
 					pts, err := perfmodel.WeakScaling(model, so, m, mode)
 					if err != nil {
-						fatal(err)
+						return err
 					}
 					label := fmt.Sprintf("%s-%s", shortName(model), mode)
 					if m.GPUOnlyBasic {
@@ -132,6 +160,7 @@ func runWeak(models []string, sos []int, machines []perfmodel.Machine) {
 		}
 		fmt.Println()
 	}
+	return nil
 }
 
 func shortName(model string) string {
@@ -148,24 +177,26 @@ func shortName(model string) string {
 	return model
 }
 
-func runRoofline(sos []int) {
+func runRoofline(sos []int) error {
 	for _, so := range sos {
 		s, err := perfmodel.RooflineReport(so)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(s)
 	}
+	return nil
 }
 
-func runSelectMode(sos []int) {
+func runSelectMode(sos []int) error {
 	for _, so := range sos {
 		s, err := perfmodel.ModeSelectionReport(so)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(s)
 	}
+	return nil
 }
 
 func parseSOs(s string) ([]int, error) {
@@ -181,9 +212,4 @@ func parseSOs(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "devigo-bench:", err)
-	os.Exit(1)
 }

@@ -298,6 +298,9 @@ func NewOperator(g *Grid, eqs ...Equation) (*Operator, error) {
 type ApplyConfig struct {
 	// TimeM and TimeN are the inclusive timestep bounds.
 	TimeM, TimeN int
+	// Reverse runs the time loop from TimeN down to TimeM — the schedule
+	// of adjoint operators solved for u.Backward().
+	Reverse bool
 	// DT is the timestep (bound to the dt symbol).
 	DT float64
 	// PostStep runs after each timestep (source injection etc.).
@@ -312,6 +315,7 @@ func (o *Operator) Apply(cfg ApplyConfig) error {
 	return o.op.Apply(&core.ApplyOpts{
 		TimeM:    cfg.TimeM,
 		TimeN:    cfg.TimeN,
+		Reverse:  cfg.Reverse,
 		Syms:     map[string]float64{"dt": cfg.DT},
 		PostStep: cfg.PostStep,
 	})

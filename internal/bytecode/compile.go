@@ -120,10 +120,10 @@ type compiler struct {
 	fields map[string]*field.Function
 
 	fieldIdx  map[string]int
-	symPool   map[string]int32  // scalar symbol -> pool slot
-	constPool map[uint64]int32  // float64 bits -> pool slot
+	symPool   map[string]int32 // scalar symbol -> pool slot
+	constPool map[uint64]int32 // float64 bits -> pool slot
 	slotIdx   map[slot]int32
-	tempReg   map[string]int32  // CSE temporary -> pinned register
+	tempReg   map[string]int32 // CSE temporary -> pinned register
 	// scalarCache dedups bind-time evaluation of identical scalar
 	// subtrees (canonical string -> pool slot).
 	scalarCache map[string]int32

@@ -1,0 +1,189 @@
+// Package checkpoint implements bounded-memory wavefield storage for
+// time-reversed (adjoint/gradient) runs. Storing every timestep of a
+// forward wavefield costs O(nt) grid copies — prohibitive for realistic
+// step counts — so the store keeps full snapshots only every Interval
+// steps and the reverse sweep recomputes the forward field segment by
+// segment between them. Memory is bounded by
+//
+//	nt/Interval snapshots + (Interval+2) cached time levels
+//
+// at the price of one extra forward integration of each segment; the
+// classic sqrt(nt) interval balances the two terms. Snapshots capture the
+// raw buffers (halos included), so a recomputed segment is bit-identical
+// to the original integration, serially and under any DMP halo mode.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"devigo/internal/field"
+)
+
+// Store snapshots a set of wavefields during a forward run and serves
+// their time levels back to a reverse sweep.
+type Store struct {
+	// Interval is the snapshot spacing in timesteps.
+	Interval int
+
+	fields []*field.Function
+	// snaps maps a logical step s to a full copy of every buffer of every
+	// field, in the state "ready to execute step s" (i.e. taken after step
+	// s-1 completed, injections included).
+	snaps map[int][][][]float32
+	// levels maps a logical time level t to a copy of each field's cyclic
+	// buffer Buf(t) — the recompute cache of the segment currently being
+	// consumed by the reverse sweep.
+	levels map[int][][]float32
+
+	// Stats accumulates the cost counters reported by benchmarks.
+	Stats Stats
+}
+
+// Stats counts the memory/recompute cost of a checkpointed run.
+type Stats struct {
+	// Snapshots is the number of full-state snapshots taken.
+	Snapshots int
+	// SnapshotBytes is the total snapshot storage in bytes.
+	SnapshotBytes int64
+	// RecomputedSteps counts forward steps re-integrated during the
+	// reverse sweep (incremented by the driver).
+	RecomputedSteps int
+}
+
+// DefaultInterval is the sqrt(nt) heuristic: it balances snapshot memory
+// against recompute work.
+func DefaultInterval(nt int) int {
+	k := int(math.Ceil(math.Sqrt(float64(nt))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// New creates a store snapshotting the given fields every interval steps.
+// interval <= 0 panics; use DefaultInterval to derive one from the step
+// count.
+func New(interval int, fields ...*field.Function) *Store {
+	if interval <= 0 {
+		panic("checkpoint: interval must be positive")
+	}
+	return &Store{
+		Interval: interval,
+		fields:   fields,
+		snaps:    map[int][][][]float32{},
+		levels:   map[int][][]float32{},
+	}
+}
+
+// SaveIfDue snapshots the state "ready to execute step t" when t falls on
+// the interval. Call it with t=0 before the forward loop and with t+1
+// from the loop's post-step hook.
+func (s *Store) SaveIfDue(t int) {
+	if t%s.Interval == 0 {
+		s.Save(t)
+	}
+}
+
+// Save unconditionally snapshots every buffer of every field under step
+// key t. Saving the same step twice overwrites (idempotent for reruns).
+func (s *Store) Save(t int) {
+	_, existed := s.snaps[t]
+	snap := make([][][]float32, len(s.fields))
+	for fi, f := range s.fields {
+		snap[fi] = make([][]float32, len(f.Bufs))
+		for bi, b := range f.Bufs {
+			cp := make([]float32, len(b.Data))
+			copy(cp, b.Data)
+			snap[fi][bi] = cp
+			if !existed {
+				s.Stats.SnapshotBytes += int64(4 * len(b.Data))
+			}
+		}
+	}
+	s.snaps[t] = snap
+	if !existed {
+		s.Stats.Snapshots++
+	}
+}
+
+// Restore copies snapshot t back into the live field buffers.
+func (s *Store) Restore(t int) error {
+	snap, ok := s.snaps[t]
+	if !ok {
+		return fmt.Errorf("checkpoint: no snapshot at step %d", t)
+	}
+	for fi, f := range s.fields {
+		for bi, b := range f.Bufs {
+			copy(b.Data, snap[fi][bi])
+		}
+	}
+	return nil
+}
+
+// SnapshotAtOrBefore returns the greatest snapshotted step <= t.
+func (s *Store) SnapshotAtOrBefore(t int) (int, error) {
+	best, found := 0, false
+	for st := range s.snaps {
+		if st <= t && (!found || st > best) {
+			best, found = st, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("checkpoint: no snapshot at or before step %d", t)
+	}
+	return best, nil
+}
+
+// SnapshotSteps returns the snapshotted steps in ascending order.
+func (s *Store) SnapshotSteps() []int {
+	out := make([]int, 0, len(s.snaps))
+	for st := range s.snaps {
+		out = append(out, st)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RecordLevel caches a copy of each field's cyclic buffer for logical
+// time level t — called while recomputing a segment forward.
+func (s *Store) RecordLevel(t int) {
+	lv := make([][]float32, len(s.fields))
+	for fi, f := range s.fields {
+		b := f.Buf(t)
+		cp := make([]float32, len(b.Data))
+		copy(cp, b.Data)
+		lv[fi] = cp
+	}
+	s.levels[t] = lv
+}
+
+// HasLevel reports whether time level t is cached.
+func (s *Store) HasLevel(t int) bool {
+	_, ok := s.levels[t]
+	return ok
+}
+
+// LoadLevel copies cached time level t back into each field's cyclic
+// buffer Buf(t).
+func (s *Store) LoadLevel(t int) error {
+	lv, ok := s.levels[t]
+	if !ok {
+		return fmt.Errorf("checkpoint: time level %d not cached", t)
+	}
+	for fi, f := range s.fields {
+		copy(f.Buf(t).Data, lv[fi])
+	}
+	return nil
+}
+
+// PruneLevels drops cached levels outside [lo, hi], bounding the cache to
+// the segment the reverse sweep is consuming.
+func (s *Store) PruneLevels(lo, hi int) {
+	for t := range s.levels {
+		if t < lo || t > hi {
+			delete(s.levels, t)
+		}
+	}
+}

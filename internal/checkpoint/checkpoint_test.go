@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"devigo/internal/field"
+	"devigo/internal/grid"
+)
+
+func testField(t *testing.T) *field.TimeFunction {
+	t.Helper()
+	g, err := grid.New([]int{6, 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := field.NewTimeFunction("u", g, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func fill(u *field.TimeFunction, t int, v float32) {
+	for i := range u.Buf(t).Data {
+		u.Buf(t).Data[i] = v + float32(i)
+	}
+}
+
+func TestSaveRestoreRoundtrip(t *testing.T) {
+	u := testField(t)
+	s := New(4, &u.Function)
+	fill(u, 0, 1)
+	fill(u, 1, 100)
+	fill(u, 2, 10000)
+	s.Save(8)
+	// Clobber and restore.
+	for b := 0; b < 3; b++ {
+		u.Bufs[b].Fill(-1)
+	}
+	if err := s.Restore(8); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		want := float32([3]float32{1, 100, 10000}[b])
+		if got := u.Bufs[b].Data[0]; got != want {
+			t.Fatalf("buf %d: got %v want %v", b, got, want)
+		}
+	}
+	if s.Stats.Snapshots != 1 {
+		t.Fatalf("snapshots = %d, want 1", s.Stats.Snapshots)
+	}
+	wantBytes := int64(3 * 4 * len(u.Bufs[0].Data))
+	if s.Stats.SnapshotBytes != wantBytes {
+		t.Fatalf("snapshot bytes = %d, want %d", s.Stats.SnapshotBytes, wantBytes)
+	}
+}
+
+func TestSaveIsIdempotentInStats(t *testing.T) {
+	u := testField(t)
+	s := New(2, &u.Function)
+	s.Save(0)
+	s.Save(0)
+	if s.Stats.Snapshots != 1 {
+		t.Fatalf("re-saving a step must not double-count: %d", s.Stats.Snapshots)
+	}
+}
+
+func TestSaveIfDueInterval(t *testing.T) {
+	u := testField(t)
+	s := New(3, &u.Function)
+	for t := 0; t <= 10; t++ {
+		s.SaveIfDue(t)
+	}
+	got := s.SnapshotSteps()
+	want := []int{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot steps %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot steps %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshotAtOrBefore(t *testing.T) {
+	u := testField(t)
+	s := New(4, &u.Function)
+	s.Save(0)
+	s.Save(4)
+	s.Save(8)
+	for _, tc := range []struct{ q, want int }{{0, 0}, {3, 0}, {4, 4}, {7, 4}, {11, 8}} {
+		got, err := s.SnapshotAtOrBefore(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("SnapshotAtOrBefore(%d) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if _, err := s.SnapshotAtOrBefore(-1); err == nil {
+		t.Fatal("expected error below first snapshot")
+	}
+}
+
+func TestLevelCacheCyclicAndPrune(t *testing.T) {
+	u := testField(t)
+	s := New(4, &u.Function)
+	// Record levels 4..7; level t lives in cyclic buffer t%3.
+	for lvl := 4; lvl <= 7; lvl++ {
+		fill(u, lvl, float32(10*lvl))
+		s.RecordLevel(lvl)
+	}
+	// Negative levels address the trailing cyclic buffer.
+	fill(u, -1, -5)
+	s.RecordLevel(-1)
+	u.Buf(5).Fill(0)
+	if err := s.LoadLevel(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Buf(5).Data[0]; got != 50 {
+		t.Fatalf("level 5 reload = %v, want 50", got)
+	}
+	if err := s.LoadLevel(-1); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Buf(-1).Data[0]; got != -5 {
+		t.Fatalf("level -1 reload = %v, want -5", got)
+	}
+	s.PruneLevels(6, 7)
+	if s.HasLevel(5) || s.HasLevel(-1) {
+		t.Fatal("pruned levels still cached")
+	}
+	if !s.HasLevel(6) || !s.HasLevel(7) {
+		t.Fatal("kept levels lost")
+	}
+	if err := s.LoadLevel(5); err == nil {
+		t.Fatal("expected error loading pruned level")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	for _, tc := range []struct{ nt, want int }{{0, 1}, {1, 1}, {4, 2}, {10, 4}, {100, 10}, {101, 11}} {
+		if got := DefaultInterval(tc.nt); got != tc.want {
+			t.Fatalf("DefaultInterval(%d) = %d, want %d", tc.nt, got, tc.want)
+		}
+	}
+}

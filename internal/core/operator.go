@@ -270,6 +270,11 @@ type ApplyOpts struct {
 	// TimeM and TimeN are the inclusive logical timestep bounds (the
 	// update writing t+1 runs for t in [TimeM, TimeN]).
 	TimeM, TimeN int
+	// Reverse runs the time loop from TimeN down to TimeM — the schedule
+	// of time-reversed (adjoint) operators, whose clusters write the
+	// backward stencil u[t-1]. Halo exchanges, overlap mode and the
+	// PostStep hook all see the descending logical step.
+	Reverse bool
 	// Syms binds scalar symbols (dt is mandatory for time-dependent
 	// kernels; spacings default from the grid).
 	Syms map[string]float64
@@ -324,7 +329,7 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 	}
 	localShape := anyField.LocalShape
 
-	for t := a.TimeM; t <= a.TimeN; t++ {
+	step := func(t int) {
 		for si, st := range op.Schedule.Steps {
 			k := op.kernels[si]
 			if op.useOverlap(si) && op.stepExt[si] == 0 {
@@ -348,6 +353,15 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 			a.PostStep(t)
 		}
 		op.perf.Timesteps++
+	}
+	if a.Reverse {
+		for t := a.TimeN; t >= a.TimeM; t-- {
+			step(t)
+		}
+	} else {
+		for t := a.TimeM; t <= a.TimeN; t++ {
+			step(t)
+		}
 	}
 	return nil
 }

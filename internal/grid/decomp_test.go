@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Direct coverage for DimsCreate/NewDecomposition on 3-D shapes and prime
+// rank counts — configurations the propagator suites only reach at 4
+// ranks. Prime counts force degenerate topologies (p x 1 x 1) and uneven
+// remainder spreading, the classic off-by-one territory.
+
+func TestDimsCreatePrimeCounts(t *testing.T) {
+	cases := []struct {
+		n, nd int
+		want  []int
+	}{
+		{2, 3, []int{2, 1, 1}},
+		{3, 3, []int{3, 1, 1}},
+		{5, 3, []int{5, 1, 1}},
+		{7, 3, []int{7, 1, 1}},
+		{11, 2, []int{11, 1}},
+		{13, 3, []int{13, 1, 1}},
+		{5, 1, []int{5}},
+		// Semiprimes of distinct primes split across dims, largest first.
+		{15, 3, []int{5, 3, 1}},
+		{35, 2, []int{7, 5}},
+		{30, 3, []int{5, 3, 2}},
+	}
+	for _, c := range cases {
+		got := DimsCreate(c.n, c.nd)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("DimsCreate(%d,%d) = %v, want %v", c.n, c.nd, got, c.want)
+		}
+	}
+}
+
+func TestDimsCreateInvariants(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		for nd := 1; nd <= 4; nd++ {
+			dims := DimsCreate(n, nd)
+			if len(dims) != nd {
+				t.Fatalf("DimsCreate(%d,%d) rank %d", n, nd, len(dims))
+			}
+			prod := 1
+			for i, d := range dims {
+				prod *= d
+				if d < 1 {
+					t.Fatalf("DimsCreate(%d,%d) = %v: non-positive entry", n, nd, dims)
+				}
+				if i > 0 && dims[i-1] < d {
+					t.Fatalf("DimsCreate(%d,%d) = %v: not non-increasing", n, nd, dims)
+				}
+			}
+			if prod != n {
+				t.Fatalf("DimsCreate(%d,%d) = %v: product %d", n, nd, dims, prod)
+			}
+			// Deterministic: a second call yields the identical factoring.
+			if again := DimsCreate(n, nd); !reflect.DeepEqual(again, dims) {
+				t.Fatalf("DimsCreate(%d,%d) nondeterministic: %v vs %v", n, nd, dims, again)
+			}
+		}
+	}
+}
+
+// TestDecompose3DPrimeRanks checks exact tiling of 3-D grids over prime
+// rank counts with the default (DimsCreate) topology: every global point
+// is owned by exactly one rank, local shapes/origins agree with the
+// per-dimension ranges, and OwnerRank inverts the assignment.
+func TestDecompose3DPrimeRanks(t *testing.T) {
+	shapes := [][]int{{17, 13, 11}, {23, 8, 9}, {11, 11, 11}}
+	for _, shape := range shapes {
+		for _, nprocs := range []int{2, 3, 5, 7, 11} {
+			g := MustNew(shape, nil)
+			d, err := NewDecomposition(g, nprocs, nil)
+			if err != nil {
+				t.Fatalf("shape %v nprocs %d: %v", shape, nprocs, err)
+			}
+			if d.NProcs() != nprocs {
+				t.Fatalf("shape %v: NProcs %d != %d", shape, d.NProcs(), nprocs)
+			}
+			// Per-rank geometry consistency.
+			total := 0
+			for r := 0; r < nprocs; r++ {
+				ls, org := d.LocalShape(r), d.LocalOrigin(r)
+				n := 1
+				for dim := range shape {
+					if ls[dim] <= 0 {
+						t.Fatalf("shape %v nprocs %d rank %d: empty dim %d", shape, nprocs, r, dim)
+					}
+					n *= ls[dim]
+					lo, hi := d.LocalRange(dim, d.Coords(r)[dim])
+					if org[dim] != lo || org[dim]+ls[dim] != hi {
+						t.Fatalf("shape %v nprocs %d rank %d dim %d: origin/shape (%d,%d) vs range [%d,%d)",
+							shape, nprocs, r, dim, org[dim], ls[dim], lo, hi)
+					}
+					// Balanced split: chunks differ by at most one point.
+					if hi-lo < shape[dim]/d.Topology[dim] || hi-lo > shape[dim]/d.Topology[dim]+1 {
+						t.Fatalf("shape %v nprocs %d dim %d: unbalanced chunk [%d,%d)",
+							shape, nprocs, dim, lo, hi)
+					}
+				}
+				total += n
+			}
+			want := shape[0] * shape[1] * shape[2]
+			if total != want {
+				t.Fatalf("shape %v nprocs %d: ranks own %d points, grid has %d", shape, nprocs, total, want)
+			}
+			// Exhaustive ownership: OwnerRank and GlobalToLocal agree.
+			for x := 0; x < shape[0]; x++ {
+				for y := 0; y < shape[1]; y++ {
+					for z := 0; z < shape[2]; z++ {
+						r := d.OwnerRank([]int{x, y, z})
+						if r < 0 || r >= nprocs {
+							t.Fatalf("point (%d,%d,%d): owner %d out of range", x, y, z, r)
+						}
+						coords := d.Coords(r)
+						for dim, gidx := range []int{x, y, z} {
+							li, ok := d.GlobalToLocal(dim, coords[dim], gidx)
+							if !ok {
+								t.Fatalf("point (%d,%d,%d): owner %d does not own dim %d", x, y, z, r, dim)
+							}
+							if li < 0 || li >= d.LocalShape(r)[dim] {
+								t.Fatalf("point (%d,%d,%d): local index %d outside shape", x, y, z, li)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecomposeRejectsOverSplit: more ranks than points along a dimension
+// must fail loudly, including via prime default topologies.
+func TestDecomposeRejectsOverSplit(t *testing.T) {
+	g := MustNew([]int{5, 64, 64}, nil)
+	if _, err := NewDecomposition(g, 7, []int{7, 1, 1}); err == nil {
+		t.Error("splitting 5 points over 7 ranks should fail")
+	}
+	// The default topology puts the largest factor first, which the
+	// 5-point dimension cannot hold either.
+	if _, err := NewDecomposition(g, 7, nil); err == nil {
+		t.Error("default topology over-splitting should fail")
+	}
+}

@@ -63,5 +63,6 @@ func Acoustic(cfg Config) (*Model, error) {
 		SourceFields:     []string{"u"},
 		CriticalDt:       criticalDt(g, c.Velocity),
 		WorkingSetFields: 5,
+		Cfg:              c,
 	}, nil
 }

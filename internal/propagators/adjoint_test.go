@@ -1,0 +1,356 @@
+package propagators
+
+import (
+	"math"
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+)
+
+// The adjoint acceptance gate: the discrete dot-product identity
+// <Fq, Fq> = <q, F'Fq> must hold to 1e-8 relative error for the acoustic
+// model — serially and on 4 ranks under every halo mode, with both
+// execution engines. RunDotTest's configuration makes every float op
+// exact, so a correct adjoint yields an *exactly* zero gap and any
+// structural error yields O(1); the gate therefore certifies the
+// transpose itself rather than measuring float32 rounding noise.
+
+const dotTol = 1e-8
+
+func engines() []string {
+	return []string{core.EngineBytecode, core.EngineInterpreter}
+}
+
+func TestAdjointDotProduct_Serial(t *testing.T) {
+	for _, engine := range engines() {
+		t.Run(engine, func(t *testing.T) {
+			res, err := RunDotTest(nil, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DotForward == 0 {
+				t.Fatal("degenerate dot test: forward data is all zero")
+			}
+			if res.RelErr > dotTol {
+				t.Errorf("dot-product identity violated: <Fq,Fq>=%v <q,F'Fq>=%v rel=%v",
+					res.DotForward, res.DotAdjoint, res.RelErr)
+			}
+		})
+	}
+}
+
+func TestAdjointDotProduct_DMPAllModes(t *testing.T) {
+	// The serial result is the cross-check baseline: the certification
+	// config is arithmetically exact, so every mode/engine/ranking must
+	// reproduce the identical dot products bit for bit.
+	base, err := RunDotTest(nil, core.EngineBytecode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range engines() {
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			t.Run(engine+"/"+mode.String(), func(t *testing.T) {
+				w := mpi.NewWorld(4)
+				err := w.Run(func(c *mpi.Comm) {
+					g := grid.MustNew([]int{24, 24}, nil)
+					dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					cart, err := mpi.CartCreate(c, dec.Topology, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+					res, err := RunDotTest(ctx, engine)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if res.RelErr > dotTol {
+						t.Errorf("rank %d: identity violated: %v vs %v (rel %v)",
+							c.Rank(), res.DotForward, res.DotAdjoint, res.RelErr)
+					}
+					if res.DotForward != base.DotForward || res.DotAdjoint != base.DotAdjoint {
+						t.Errorf("rank %d: dots diverge from serial: (%v,%v) vs (%v,%v)",
+							c.Rank(), res.DotForward, res.DotAdjoint, base.DotForward, base.DotAdjoint)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAdjointDotProduct_Realistic runs the identity in a production-like
+// configuration — Ricker wavelet, absorbing boundary, 8th-order stencil,
+// off-grid receivers — where float32 wavefield stores bound the
+// achievable agreement. The tolerance reflects the dtype, not the
+// operator: the certification config above is the tight gate.
+func TestAdjointDotProduct_Realistic(t *testing.T) {
+	for _, engine := range engines() {
+		t.Run(engine, func(t *testing.T) {
+			m, err := Acoustic(Config{Shape: []int{40, 40}, SpaceOrder: 8, NBL: 8, Velocity: 1.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nt := 40
+			rec := ReceiverLine(m.Grid, 6)
+			fres, err := Run(m, nil, RunConfig{NT: nt, ReceiverCoords: rec, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ares, err := RunAdjoint(m, nil, AdjointConfig{
+				NT: nt, RecCoords: rec, RecData: fres.Receivers, Engine: engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dotF, dotA float64
+			wav := rickerFor(m, nt)
+			for tt := 0; tt < nt; tt++ {
+				for _, d := range fres.Receivers[tt] {
+					dotF += d * d
+				}
+				dotA += float64(wav[tt]) * ares.SrcTraces[tt]
+			}
+			rel := RelDot(dotF, dotA)
+			if rel > 2e-5 {
+				t.Errorf("realistic dot test: %v vs %v (rel %v)", dotF, dotA, rel)
+			}
+			t.Logf("realistic config: <d,d>=%.6e <q,q'>=%.6e rel=%.2e", dotF, dotA, rel)
+		})
+	}
+}
+
+// rickerFor regenerates the default wavelet Run derives internally.
+func rickerFor(m *Model, nt int) []float32 {
+	rc := RunConfig{}
+	s, err := buildSources(m, &rc, m.CriticalDt, nt)
+	if err != nil {
+		panic(err)
+	}
+	return s.wavelet
+}
+
+func exactGradientConfig(interval int) GradientConfig {
+	return GradientConfig{
+		NT: 8, DT: 1,
+		Wavelet:            []float32{1, -2, 1},
+		SourceCoords:       []float64{12, 12},
+		ReceiverCoords:     [][]float64{{6, 5}, {11, 9}, {15, 14}, {17, 16}},
+		CheckpointInterval: interval,
+	}
+}
+
+func exactAcoustic(t *testing.T, dec *grid.Decomposition, rank int) *Model {
+	t.Helper()
+	cfg := Config{Shape: []int{24, 24}, SpaceOrder: 2, NBL: 0, Velocity: 1, Decomp: dec, Rank: rank}
+	m, err := Acoustic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillConst(m.Fields["m"], 2)
+	return m
+}
+
+// TestGradientCheckpointInvariance is the checkpointing subsystem's
+// acceptance gate: because snapshots capture raw buffers and segment
+// recomputation replays the identical operator and injection schedule,
+// the gradient must be bit-identical for every checkpoint interval —
+// including one so large that nothing is recomputed segment-wise.
+func TestGradientCheckpointInvariance(t *testing.T) {
+	grads := map[int][]float32{}
+	stats := map[int]int{}
+	for _, k := range []int{2, 3, 5, 100} {
+		m := exactAcoustic(t, nil, 0)
+		res, err := RunGradient(m, nil, exactGradientConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RelErr > dotTol {
+			t.Errorf("interval %d: dot identity violated: rel %v", k, res.RelErr)
+		}
+		if res.GradNorm == 0 {
+			t.Errorf("interval %d: zero gradient", k)
+		}
+		grads[k] = append([]float32(nil), res.Gradient.Bufs[0].Data...)
+		stats[k] = res.Checkpoint.RecomputedSteps
+		wantSnaps := 8/k + 1
+		if res.Checkpoint.Snapshots != wantSnaps {
+			t.Errorf("interval %d: %d snapshots, want %d", k, res.Checkpoint.Snapshots, wantSnaps)
+		}
+	}
+	ref := grads[2]
+	for _, k := range []int{3, 5, 100} {
+		g := grads[k]
+		for i := range ref {
+			if g[i] != ref[i] {
+				t.Fatalf("gradient diverges between intervals 2 and %d at %d: %v vs %v",
+					k, i, ref[i], g[i])
+			}
+		}
+	}
+	// Coarser intervals must not recompute more than nt steps total and
+	// finer ones not fewer than nt - k.
+	for k, rec := range stats {
+		if rec > 8 {
+			t.Errorf("interval %d recomputed %d steps (> nt)", k, rec)
+		}
+	}
+}
+
+// TestGradientEveryIntervalAlignment sweeps every interval against step
+// counts around the segment boundaries — in particular nt % k == 1,
+// where the last reverse step needs a forward level one past the final
+// segment's re-integration window (a regression: the snapshot lookup
+// must be based on the top of the needed range, not the bottom).
+func TestGradientEveryIntervalAlignment(t *testing.T) {
+	for _, nt := range []int{7, 8, 9} {
+		gc := exactGradientConfig(1)
+		gc.NT = nt
+		base, err := RunGradient(exactAcoustic(t, nil, 0), nil, gc)
+		if err != nil {
+			t.Fatalf("nt=%d k=1: %v", nt, err)
+		}
+		for k := 2; k <= nt+1; k++ {
+			gc := exactGradientConfig(k)
+			gc.NT = nt
+			res, err := RunGradient(exactAcoustic(t, nil, 0), nil, gc)
+			if err != nil {
+				t.Fatalf("nt=%d k=%d: %v", nt, k, err)
+			}
+			if res.GradNorm != base.GradNorm {
+				t.Errorf("nt=%d k=%d: gradient norm %v != interval-1 norm %v",
+					nt, k, res.GradNorm, base.GradNorm)
+			}
+		}
+	}
+}
+
+// TestGradientDMP runs the full checkpointed gradient on 4 ranks with
+// worker-pool parallelism and compares against the serial result.
+func TestGradientDMP(t *testing.T) {
+	serial, err := RunGradient(exactAcoustic(t, nil, 0), nil, exactGradientConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+		t.Run(mode.String(), func(t *testing.T) {
+			w := mpi.NewWorld(4)
+			err := w.Run(func(c *mpi.Comm) {
+				g := grid.MustNew([]int{24, 24}, nil)
+				dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cart, err := mpi.CartCreate(c, dec.Topology, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+				m := exactAcoustic(t, dec, c.Rank())
+				gc := exactGradientConfig(3)
+				gc.Workers = 2
+				gc.TileRows = 3
+				res, err := RunGradient(m, ctx, gc)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.RelErr > dotTol {
+					t.Errorf("rank %d: dot identity violated: rel %v", c.Rank(), res.RelErr)
+				}
+				if res.DotForward != serial.DotForward || res.DotAdjoint != serial.DotAdjoint {
+					t.Errorf("rank %d: dots diverge from serial", c.Rank())
+				}
+				// The imaging kernel computes identical per-point float32
+				// values on any decomposition; only the float64 norm
+				// reduction order differs.
+				if math.Abs(res.GradNorm-serial.GradNorm) > 1e-12*serial.GradNorm {
+					t.Errorf("rank %d: gradient norm %v != serial %v", c.Rank(), res.GradNorm, serial.GradNorm)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGradientResidualSource checks the FWI residual path: observed data
+// equal to the synthetics yields a zero adjoint source and hence a zero
+// gradient.
+func TestGradientResidualSource(t *testing.T) {
+	m := exactAcoustic(t, nil, 0)
+	fres, err := Run(m, nil, RunConfig{
+		NT: 8, DT: 1, Wavelet: []float32{1, -2, 1},
+		SourceCoords:   []float64{12, 12},
+		ReceiverCoords: [][]float64{{6, 5}, {11, 9}, {15, 14}, {17, 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := exactAcoustic(t, nil, 0)
+	gc := exactGradientConfig(3)
+	gc.ObsData = fres.Receivers
+	res, err := RunGradient(m2, nil, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradNorm != 0 {
+		t.Errorf("zero residual must give a zero gradient, got norm %v", res.GradNorm)
+	}
+}
+
+func TestAdjointModelStructure(t *testing.T) {
+	m := exactAcoustic(t, nil, 0)
+	adj, err := Adjoint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.Name != "acoustic_adjoint" {
+		t.Errorf("name %q", adj.Name)
+	}
+	// Parameter fields are shared storage, the wavefield is fresh.
+	if adj.Fields["m"] != m.Fields["m"] || adj.Fields["damp"] != m.Fields["damp"] {
+		t.Error("adjoint must share the forward parameter fields")
+	}
+	if adj.Fields["v"] == nil || adj.Fields["v"] == m.Fields["u"] {
+		t.Error("adjoint wavefield must be fresh storage")
+	}
+	lhs := adj.Eqs[0].LHS.String()
+	if lhs != "v[t-1,x,y]" {
+		t.Errorf("adjoint update target %q, want the backward stencil", lhs)
+	}
+	el, err := Elastic(Config{Shape: []int{16, 16}, SpaceOrder: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Adjoint(el); err == nil {
+		t.Error("elastic adjoint should report unsupported")
+	}
+}
+
+func TestRunAdjointValidation(t *testing.T) {
+	m := exactAcoustic(t, nil, 0)
+	rec := [][]float64{{6, 5}}
+	if _, err := RunAdjoint(m, nil, AdjointConfig{RecCoords: rec}); err == nil {
+		t.Error("missing NT should error")
+	}
+	if _, err := RunAdjoint(m, nil, AdjointConfig{NT: 4}); err == nil {
+		t.Error("missing RecCoords should error")
+	}
+	if _, err := RunAdjoint(m, nil, AdjointConfig{NT: 4, RecCoords: rec, RecData: make([][]float64, 3)}); err == nil {
+		t.Error("mismatched RecData length should error")
+	}
+}

@@ -61,6 +61,10 @@ type Model struct {
 	// WorkingSetFields counts the fields in the working set, with time
 	// buffers counted individually — the paper's "N fields" metric.
 	WorkingSetFields int
+	// Cfg is the (defaulted) configuration the model was built from, kept
+	// so companion operators (the adjoint, imaging kernels) can allocate
+	// matching storage on the same decomposition.
+	Cfg Config
 }
 
 // fieldCfg builds the per-field storage config for a model config.

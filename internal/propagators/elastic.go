@@ -215,5 +215,6 @@ func Elastic(cfg Config) (*Model, error) {
 		SourceFields:     srcFields,
 		CriticalDt:       criticalDt(g, vp) * 0.9, // stricter CFL for the coupled system
 		WorkingSetFields: 2*(nd+nTau) + 4,
+		Cfg:              c,
 	}, nil
 }

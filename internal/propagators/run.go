@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"devigo/internal/checkpoint"
 	"devigo/internal/core"
+	"devigo/internal/field"
+	"devigo/internal/mpi"
 	"devigo/internal/sparse"
 )
 
@@ -21,8 +24,18 @@ type RunConfig struct {
 	F0 float64
 	// NReceivers is the receiver line length (0 disables receivers).
 	NReceivers int
+	// ReceiverCoords overrides the default ReceiverLine placement; when
+	// set, NReceivers is ignored.
+	ReceiverCoords [][]float64
 	// SourceCoords overrides the default centre source.
 	SourceCoords []float64
+	// Wavelet overrides the Ricker source signature (one amplitude per
+	// timestep; shorter slices are zero-extended).
+	Wavelet []float32
+	// Checkpoint, when non-nil, snapshots the model's wavefields every
+	// Checkpoint.Interval steps during the run — the forward half of a
+	// checkpointed adjoint/gradient computation.
+	Checkpoint *checkpoint.Store
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
@@ -67,58 +80,23 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	// Source setup.
-	srcCoords := rc.SourceCoords
-	if srcCoords == nil {
-		srcCoords = CenterSource(m.Grid)
-	}
-	src, err := sparse.New("src", m.Grid, [][]float64{srcCoords})
+	srcs, err := buildSources(m, &rc, dt, nt)
 	if err != nil {
 		return nil, err
 	}
-	f0 := rc.F0
-	if f0 == 0 {
-		// Aim for ~8 points per wavelength: with the CFL relation
-		// dt_c = C*h/v, v/h = C/dt_c, so f0 = (C/8)/dt_c ~ 0.05/dt_c.
-		f0 = 0.05 / m.CriticalDt
-	}
-	t0 := 1.5 / f0
-	wavelet := sparse.RickerWavelet(f0, t0, dt, nt)
-
-	// Injection scale: second-order-in-time models inject dt^2/m (Devito
-	// convention); first-order systems inject dt.
-	first := m.Fields[m.WaveFields[0]]
-	scale := float32(dt)
-	if len(first.Bufs) == 3 {
-		// dt^2 / m with the homogeneous m of the model builders.
-		mval := m.Fields["m"].AtDomain(0, make([]int, m.Grid.NDims())...)
-		scale = float32(dt * dt / float64(mval))
-	}
-
-	var rec *sparse.SparseFunction
-	if rc.NReceivers > 1 {
-		rec, err = sparse.New("rec", m.Grid, ReceiverLine(m.Grid, rc.NReceivers))
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	res := &RunResult{NT: nt, DT: dt, Op: op}
+	if rc.Checkpoint != nil {
+		rc.Checkpoint.SaveIfDue(0)
+	}
 	postStep := func(t int) {
-		val := []float32{wavelet[tIndex(t, nt)] * scale}
-		for _, fname := range m.SourceFields {
-			f := m.Fields[fname]
-			// Inject into the freshly written buffer.
-			_ = src.Inject(f, t+1, val)
+		srcs.inject(m, t)
+		if srcs.rec != nil {
+			res.Receivers = append(res.Receivers,
+				srcs.rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, commOf(ctx)))
 		}
-		if rec != nil {
-			var trace []float64
-			if ctx != nil && ctx.Comm != nil {
-				trace = rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, ctx.Comm)
-			} else {
-				trace = rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, nil)
-			}
-			res.Receivers = append(res.Receivers, trace)
+		if rc.Checkpoint != nil {
+			rc.Checkpoint.SaveIfDue(t + 1)
 		}
 	}
 	if err := op.Apply(&core.ApplyOpts{
@@ -134,23 +112,96 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 	return res, nil
 }
 
-func tIndex(t, nt int) int {
-	if t < 0 {
-		return 0
-	}
-	if t >= nt {
-		return nt - 1
-	}
-	return t
+// sourceSetup bundles the sparse source/receiver machinery of a run so
+// the checkpointed reverse sweep can replay the forward integration
+// bit-exactly (same wavelet, same injection scale, same coordinates).
+type sourceSetup struct {
+	src     *sparse.SparseFunction
+	rec     *sparse.SparseFunction
+	wavelet []float32
+	scale   float32
 }
 
-// fieldNorm computes the global L2 norm of the first wavefield at the
-// final time buffer.
-func fieldNorm(m *Model, ctx *core.Context, nt int) float64 {
-	f := m.Fields[m.WaveFields[0]]
+// buildSources resolves the source/receiver configuration of a run.
+func buildSources(m *Model, rc *RunConfig, dt float64, nt int) (*sourceSetup, error) {
+	srcCoords := rc.SourceCoords
+	if srcCoords == nil {
+		srcCoords = CenterSource(m.Grid)
+	}
+	src, err := sparse.New("src", m.Grid, [][]float64{srcCoords})
+	if err != nil {
+		return nil, err
+	}
+	wavelet := rc.Wavelet
+	if wavelet == nil {
+		f0 := rc.F0
+		if f0 == 0 {
+			// Aim for ~8 points per wavelength: with the CFL relation
+			// dt_c = C*h/v, v/h = C/dt_c, so f0 = (C/8)/dt_c ~ 0.05/dt_c.
+			f0 = 0.05 / m.CriticalDt
+		}
+		t0 := 1.5 / f0
+		wavelet = sparse.RickerWavelet(f0, t0, dt, nt)
+	}
+
+	var rec *sparse.SparseFunction
+	switch {
+	case rc.ReceiverCoords != nil:
+		rec, err = sparse.New("rec", m.Grid, rc.ReceiverCoords)
+	case rc.NReceivers > 1:
+		rec, err = sparse.New("rec", m.Grid, ReceiverLine(m.Grid, rc.NReceivers))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &sourceSetup{src: src, rec: rec, wavelet: wavelet, scale: injectionScale(m, dt)}, nil
+}
+
+// injectionScale is the source scaling convention: second-order-in-time
+// models inject dt^2/m (Devito convention); first-order systems inject dt.
+func injectionScale(m *Model, dt float64) float32 {
+	first := m.Fields[m.WaveFields[0]]
+	if len(first.Bufs) == 3 {
+		// dt^2 / m with the homogeneous m of the model builders.
+		mval := m.Fields["m"].AtDomain(0, make([]int, m.Grid.NDims())...)
+		return float32(dt * dt / float64(mval))
+	}
+	return float32(dt)
+}
+
+// inject adds the step-t source sample into the freshly written buffer
+// t+1 of every source field.
+func (s *sourceSetup) inject(m *Model, t int) {
+	var amp float32
+	if t >= 0 && t < len(s.wavelet) {
+		amp = s.wavelet[t]
+	}
+	val := []float32{amp * s.scale}
+	for _, fname := range m.SourceFields {
+		_ = s.src.Inject(m.Fields[fname], t+1, val)
+	}
+}
+
+// commOf extracts the communicator of a context (nil when serial).
+func commOf(ctx *core.Context) *mpi.Comm {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Comm
+}
+
+// fieldNorm computes the global L2 norm of the first wavefield at time
+// buffer t.
+func fieldNorm(m *Model, ctx *core.Context, t int) float64 {
+	return normOf(m.Fields[m.WaveFields[0]], ctx, t)
+}
+
+// normOf computes the global L2 norm of a field's DOMAIN at time buffer t
+// (all-reduced under DMP).
+func normOf(f *field.Function, ctx *core.Context, t int) float64 {
 	dom := f.DomainRegion()
 	tmp := make([]float32, dom.Size())
-	f.Buf(nt).Pack(dom, tmp)
+	f.Buf(t).Pack(dom, tmp)
 	sum := 0.0
 	for _, v := range tmp {
 		sum += float64(v) * float64(v)

@@ -190,5 +190,6 @@ func TTI(cfg Config) (*Model, error) {
 		SourceFields:     []string{"p", "q"},
 		CriticalDt:       criticalDt(g, vmaxAniso) * 0.7,
 		WorkingSetFields: nFields,
+		Cfg:              c,
 	}, nil
 }

@@ -241,5 +241,6 @@ func Viscoelastic(cfg Config) (*Model, error) {
 		SourceFields:     srcFields,
 		CriticalDt:       dtc * 0.85,
 		WorkingSetFields: 2*(nd+2*nTau) + 5,
+		Cfg:              c,
 	}, nil
 }

@@ -257,7 +257,7 @@ func TestBoxEdgeCases(t *testing.T) {
 		box  Box
 		size int
 	}{
-		{Box{Lo: []int{0, 0}, Hi: []int{0, 5}}, 0},   // zero extent
+		{Box{Lo: []int{0, 0}, Hi: []int{0, 5}}, 0},    // zero extent
 		{Box{Lo: []int{3, 2}, Hi: []int{1, 5}}, 0},    // inverted
 		{Box{Lo: []int{0}, Hi: []int{7}}, 7},          // 1-D
 		{Box{Lo: []int{-2, -2}, Hi: []int{2, 2}}, 16}, // CIRE-extended
