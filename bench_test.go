@@ -36,6 +36,7 @@ import (
 	"devigo/internal/ir"
 	"devigo/internal/mpi"
 	"devigo/internal/perfmodel"
+	"devigo/internal/perfreport"
 	"devigo/internal/propagators"
 	"devigo/internal/runtime"
 	"devigo/internal/symbolic"
@@ -54,7 +55,7 @@ func benchChar(b *testing.B, model string, so int) perfmodel.KernelChar {
 	if kc, ok := charCache[key]; ok {
 		return kc
 	}
-	kc, err := perfmodel.Characterize(model, so)
+	kc, err := perfreport.Characterize(model, so)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func benchChar(b *testing.B, model string, so int) perfmodel.KernelChar {
 func benchStrong(b *testing.B, model string, so int, machine perfmodel.Machine) {
 	b.Helper()
 	benchChar(b, model, so) // warm the characterization cache outside timing
-	var tbl *perfmodel.ScalingTable
+	var tbl *perfreport.ScalingTable
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		tbl, err = perfmodel.StrongScaling(model, so, machine)
+		tbl, err = perfreport.StrongScaling(model, so, machine)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func benchStrong(b *testing.B, model string, so int, machine perfmodel.Machine) 
 
 func BenchmarkFig07_Roofline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := perfmodel.RooflineReport(8); err != nil {
+		if _, err := perfreport.RooflineReport(8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,11 +133,11 @@ func BenchmarkFig12_WeakScaling(b *testing.B) {
 	var lastCPU, lastGPU float64
 	for i := 0; i < b.N; i++ {
 		for _, model := range propagators.ModelNames() {
-			cpu, err := perfmodel.WeakScaling(model, 8, perfmodel.Archer2Node(), halo.ModeBasic)
+			cpu, err := perfreport.WeakScaling(model, 8, perfmodel.Archer2Node(), halo.ModeBasic)
 			if err != nil {
 				b.Fatal(err)
 			}
-			gpu, err := perfmodel.WeakScaling(model, 8, perfmodel.TursaA100(), halo.ModeBasic)
+			gpu, err := perfreport.WeakScaling(model, 8, perfmodel.TursaA100(), halo.ModeBasic)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -157,8 +158,8 @@ func BenchmarkTables_CPUSDOSweep(b *testing.B) {
 	m := perfmodel.Archer2Node()
 	for i := 0; i < b.N; i++ {
 		for _, model := range propagators.ModelNames() {
-			for _, so := range perfmodel.PaperSpaceOrders {
-				if _, err := perfmodel.StrongScaling(model, so, m); err != nil {
+			for _, so := range perfreport.PaperSpaceOrders {
+				if _, err := perfreport.StrongScaling(model, so, m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -171,8 +172,8 @@ func BenchmarkTables_GPUSDOSweep(b *testing.B) {
 	m := perfmodel.TursaA100()
 	for i := 0; i < b.N; i++ {
 		for _, model := range propagators.ModelNames() {
-			for _, so := range perfmodel.PaperSpaceOrders {
-				if _, err := perfmodel.StrongScaling(model, so, m); err != nil {
+			for _, so := range perfreport.PaperSpaceOrders {
+				if _, err := perfreport.StrongScaling(model, so, m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,9 +183,9 @@ func BenchmarkTables_GPUSDOSweep(b *testing.B) {
 
 func BenchmarkFigs21to24_WeakSDOSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, so := range perfmodel.PaperSpaceOrders {
+		for _, so := range perfreport.PaperSpaceOrders {
 			for _, model := range propagators.ModelNames() {
-				if _, err := perfmodel.WeakScaling(model, so, perfmodel.Archer2Node(), halo.ModeBasic); err != nil {
+				if _, err := perfreport.WeakScaling(model, so, perfmodel.Archer2Node(), halo.ModeBasic); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -194,7 +195,7 @@ func BenchmarkFigs21to24_WeakSDOSweep(b *testing.B) {
 
 func BenchmarkAblation_ModeSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := perfmodel.ModeSelectionReport(8); err != nil {
+		if _, err := perfreport.ModeSelectionReport(8); err != nil {
 			b.Fatal(err)
 		}
 	}

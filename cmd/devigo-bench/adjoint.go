@@ -106,11 +106,14 @@ func runAdjoint(size, nt, ckpt int, outDir string) error {
 		elapsed := time.Since(start).Seconds()
 		report.Engines[engine] = AdjointEngineMetrics{
 			Seconds:  elapsed,
-			Forward:  engineMetrics(res.ForwardPerf),
-			Adjoint:  engineMetrics(res.AdjointPerf),
+			Forward:  engineMetrics(res.ForwardPerf, res.ForwardConfig),
+			Adjoint:  engineMetrics(res.AdjointPerf, res.AdjointConfig),
 			RelError: res.RelErr,
 			GradNorm: res.GradNorm,
 		}
+		fwd := res.ForwardConfig
+		fmt.Fprintf(os.Stderr, "devigo-bench: adjoint config: engine=%s mode=%s workers=%d tile_rows=%d autotune=%s\n",
+			fwd.Engine, fwd.Mode, fwd.Workers, fwd.TileRows, fwd.Autotune)
 		report.Snapshots = res.Checkpoint.Snapshots
 		report.SnapshotBytes = res.Checkpoint.SnapshotBytes
 		report.RecomputedSteps = res.Checkpoint.RecomputedSteps
@@ -129,12 +132,13 @@ func runAdjoint(size, nt, ckpt int, outDir string) error {
 	return nil
 }
 
-func engineMetrics(p core.Perf) EngineMetrics {
+func engineMetrics(p core.Perf, cfg core.EffectiveConfig) EngineMetrics {
 	return EngineMetrics{
 		GPtss:          p.GPtss(),
 		ComputeSeconds: p.ComputeSeconds,
 		HaloSeconds:    p.HaloSeconds,
 		PointsUpdated:  p.PointsUpdated,
 		FlopsPerPoint:  p.FlopsPerPoint,
+		Config:         cfg,
 	}
 }

@@ -18,6 +18,10 @@ type EngineMetrics struct {
 	HaloSeconds    float64 `json:"halo_seconds"`
 	PointsUpdated  int64   `json:"points_updated"`
 	FlopsPerPoint  int     `json:"flops_per_point"`
+	// Config records the effective execution configuration (engine, halo
+	// mode, workers, tile rows, autotune policy) so benchmark provenance
+	// is self-describing.
+	Config core.EffectiveConfig `json:"config"`
 }
 
 // ExecReport is the BENCH_<scenario>.json schema: real measured
@@ -62,19 +66,22 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 			Engines:    map[string]EngineMetrics{},
 		}
 		for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
-			perf, err := measure(model, engine, size, so, nt)
+			perf, eff, err := measure(model, engine, size, so, nt)
 			if err != nil {
 				return fmt.Errorf("%s (%s): %w", model, engine, err)
 			}
 			if perf.GPtss() <= 0 {
 				return fmt.Errorf("%s (%s): degenerate measurement (no throughput)", model, engine)
 			}
+			fmt.Fprintf(os.Stderr, "devigo-bench: %s config: engine=%s mode=%s workers=%d tile_rows=%d autotune=%s\n",
+				model, eff.Engine, eff.Mode, eff.Workers, eff.TileRows, eff.Autotune)
 			report.Engines[engine] = EngineMetrics{
 				GPtss:          perf.GPtss(),
 				ComputeSeconds: perf.ComputeSeconds,
 				HaloSeconds:    perf.HaloSeconds,
 				PointsUpdated:  perf.PointsUpdated,
 				FlopsPerPoint:  perf.FlopsPerPoint,
+				Config:         eff,
 			}
 		}
 		gi := report.Engines[core.EngineInterpreter].GPtss
@@ -102,17 +109,18 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 
 // measure builds the scenario fresh (its own storage) and runs all nt
 // steps serially; the counters include the cold first step, so keep nt
-// large enough to amortize first-touch effects.
-func measure(model, engine string, size, so, nt int) (core.Perf, error) {
+// large enough to amortize first-touch effects. It also returns the
+// effective execution configuration for provenance.
+func measure(model, engine string, size, so, nt int) (core.Perf, core.EffectiveConfig, error) {
 	m, err := propagators.Build(model, propagators.Config{
 		Shape: []int{size, size}, SpaceOrder: so, NBL: 8, Velocity: 1.5,
 	})
 	if err != nil {
-		return core.Perf{}, err
+		return core.Perf{}, core.EffectiveConfig{}, err
 	}
 	res, err := propagators.Run(m, nil, propagators.RunConfig{NT: nt, Engine: engine})
 	if err != nil {
-		return core.Perf{}, err
+		return core.Perf{}, core.EffectiveConfig{}, err
 	}
-	return res.Perf, nil
+	return res.Perf, res.Op.Config(), nil
 }

@@ -27,6 +27,15 @@
 //
 //	devigo-bench -exp adjoint -size 128 -nt 60 -ckpt 8 -out .
 //
+// -exp autotune evaluates the autotuning subsystem: it exhaustively
+// sweeps the tuner's candidate space (halo mode x worker count x tile
+// size) per scenario, lets the "model" and "search" policies choose, and
+// writes BENCH_autotune.json recording chosen-vs-exhaustive-best (CI
+// gates the search policy within 15% of the best) plus a bit-exactness
+// check across every configuration:
+//
+//	devigo-bench -exp autotune -model acoustic -size 128 -nt 16 -out .
+//
 // Every experiment reports failures through the process exit status so CI
 // gates can consume the tool directly.
 package main
@@ -40,10 +49,11 @@ import (
 
 	"devigo/internal/halo"
 	"devigo/internal/perfmodel"
+	"devigo/internal/perfreport"
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
@@ -95,6 +105,8 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error 
 		return runExec(models, sos, size, nt, out)
 	case "adjoint":
 		return runAdjoint(size, nt, ckpt, out)
+	case "autotune":
+		return runAutotuneExp(models, sos, size, nt, out)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
@@ -116,7 +128,7 @@ func runStrong(models []string, sos []int, machines []perfmodel.Machine) error {
 	for _, m := range machines {
 		for _, model := range models {
 			for _, so := range sos {
-				tbl, err := perfmodel.StrongScaling(model, so, m)
+				tbl, err := perfreport.StrongScaling(model, so, m)
 				if err != nil {
 					return err
 				}
@@ -131,7 +143,7 @@ func runWeak(models []string, sos []int, machines []perfmodel.Machine) error {
 	for _, so := range sos {
 		fmt.Printf("MPI-X weak scaling runtime (seconds), so-%02d (paper Fig. 12/21-24)\n", so)
 		fmt.Printf("%-18s", "series/nodes")
-		for _, n := range perfmodel.PaperNodeCounts {
+		for _, n := range perfreport.PaperNodeCounts {
 			fmt.Printf("%8d", n)
 		}
 		fmt.Println()
@@ -142,7 +154,7 @@ func runWeak(models []string, sos []int, machines []perfmodel.Machine) error {
 			}
 			for _, model := range models {
 				for _, mode := range modes {
-					pts, err := perfmodel.WeakScaling(model, so, m, mode)
+					pts, err := perfreport.WeakScaling(model, so, m, mode)
 					if err != nil {
 						return err
 					}
@@ -179,7 +191,7 @@ func shortName(model string) string {
 
 func runRoofline(sos []int) error {
 	for _, so := range sos {
-		s, err := perfmodel.RooflineReport(so)
+		s, err := perfreport.RooflineReport(so)
 		if err != nil {
 			return err
 		}
@@ -190,7 +202,7 @@ func runRoofline(sos []int) error {
 
 func runSelectMode(sos []int) error {
 	for _, so := range sos {
-		s, err := perfmodel.ModeSelectionReport(so)
+		s, err := perfreport.ModeSelectionReport(so)
 		if err != nil {
 			return err
 		}

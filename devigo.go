@@ -305,6 +305,15 @@ type ApplyConfig struct {
 	DT float64
 	// PostStep runs after each timestep (source injection etc.).
 	PostStep func(t int)
+	// Autotune selects the self-configuration policy: "model" adopts the
+	// cost model's top-ranked halo mode / worker count / tile size,
+	// "search" additionally times the model's shortlist on the first few
+	// timesteps and keeps the measured winner, "off" disables tuning. An
+	// empty string consults the DEVIGO_AUTOTUNE environment variable, so
+	// existing programs self-configure with zero code changes. All
+	// candidate configurations are bit-exact: tuning never changes
+	// results, only speed.
+	Autotune string
 }
 
 // Apply runs the operator.
@@ -318,6 +327,7 @@ func (o *Operator) Apply(cfg ApplyConfig) error {
 		Reverse:  cfg.Reverse,
 		Syms:     map[string]float64{"dt": cfg.DT},
 		PostStep: cfg.PostStep,
+		Autotune: cfg.Autotune,
 	})
 }
 
@@ -330,3 +340,8 @@ func (o *Operator) ScheduleTree() string { return o.op.Schedule.String() }
 
 // Perf returns the BENCH-style performance counters of past applications.
 func (o *Operator) Perf() core.Perf { return o.op.Report() }
+
+// Config returns the effective execution configuration (engine, halo
+// mode, workers, tile rows, autotune policy) the operator runs with —
+// whatever the autotuner chose or the construction forced.
+func (o *Operator) Config() core.EffectiveConfig { return o.op.Config() }

@@ -1,0 +1,73 @@
+package devigo_test
+
+import (
+	"fmt"
+
+	"devigo"
+)
+
+// ExampleNewOperator builds the quickstart diffusion operator (paper
+// Listing 1): solve du/dt = laplace(u) for u[t+1], compile, and apply one
+// timestep serially.
+func ExampleNewOperator() {
+	g, _ := devigo.NewGrid([]int{4, 4}, []float64{2, 2})
+	u, _ := devigo.NewTimeFunction("u", g, 2, 1)
+	_ = u.Data().SetSlice(0, []devigo.Slice{devigo.SliceRange(1, -1), devigo.SliceRange(1, -1)}, 1)
+
+	stencil, _ := devigo.Solve(devigo.Eq(u.Dt(), u.Laplace()), u.Forward())
+	op, _ := devigo.NewOperator(g, devigo.Assign(u.Forward(), stencil))
+
+	dx, dy := g.Spacing(0), g.Spacing(1)
+	dt := 0.25 * dx * dy / 0.5
+	if err := op.Apply(devigo.ApplyConfig{TimeM: 0, TimeN: 0, DT: dt}); err != nil {
+		fmt.Println("apply failed:", err)
+		return
+	}
+	v, _ := u.Data().At(1, []int{0, 1})
+	fmt.Printf("u[0,1] after one step: %.2f\n", v)
+	// Output:
+	// u[0,1] after one step: 0.50
+}
+
+// ExampleRunDMP runs the identical user code over 4 in-process MPI ranks
+// with diagonal halo exchanges: grids created through env.NewGrid are
+// decomposed automatically and the result matches the serial run
+// bit-exactly.
+func ExampleRunDMP() {
+	err := devigo.RunDMP(devigo.DMPConfig{Ranks: 4, Mode: "diag"}, func(env *devigo.Env) error {
+		g, err := env.NewGrid([]int{4, 4}, []float64{2, 2}, nil)
+		if err != nil {
+			return err
+		}
+		u, err := devigo.NewTimeFunction("u", g, 2, 1)
+		if err != nil {
+			return err
+		}
+		if err := u.Data().SetSlice(0, []devigo.Slice{devigo.SliceRange(1, -1), devigo.SliceRange(1, -1)}, 1); err != nil {
+			return err
+		}
+		stencil, err := devigo.Solve(devigo.Eq(u.Dt(), u.Laplace()), u.Forward())
+		if err != nil {
+			return err
+		}
+		op, err := devigo.NewOperator(g, devigo.Assign(u.Forward(), stencil))
+		if err != nil {
+			return err
+		}
+		dt := 0.25 * g.Spacing(0) * g.Spacing(1) / 0.5
+		if err := op.Apply(devigo.ApplyConfig{TimeM: 0, TimeN: 0, DT: dt}); err != nil {
+			return err
+		}
+		// Only the rank owning global point (0,1) prints, so the output
+		// is deterministic — and matches the serial run bit-exactly.
+		if v, owned := u.Data().At(1, []int{0, 1}); owned {
+			fmt.Printf("u[0,1] on rank %d: %.2f\n", env.Rank(), v)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("run failed:", err)
+	}
+	// Output:
+	// u[0,1] on rank 0: 0.50
+}

@@ -9,11 +9,12 @@ import (
 	"log"
 
 	"devigo/internal/perfmodel"
+	"devigo/internal/perfreport"
 )
 
 func main() {
 	fmt.Println("== Single-node roofline (paper Fig. 7) ==")
-	s, err := perfmodel.RooflineReport(8)
+	s, err := perfreport.RooflineReport(8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func main() {
 
 	fmt.Println("== Strong scaling, CPU, SDO 8 (paper Figs. 8-11) ==")
 	for _, model := range []string{"acoustic", "elastic", "tti", "viscoelastic"} {
-		tbl, err := perfmodel.StrongScaling(model, 8, perfmodel.Archer2Node())
+		tbl, err := perfreport.StrongScaling(model, 8, perfmodel.Archer2Node())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -29,14 +30,14 @@ func main() {
 	}
 
 	fmt.Println("== Strong scaling, GPU, SDO 8 (paper Figs. 8b-11b) ==")
-	tbl, err := perfmodel.StrongScaling("acoustic", 8, perfmodel.TursaA100())
+	tbl, err := perfreport.StrongScaling("acoustic", 8, perfmodel.TursaA100())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(tbl.Format())
 
 	fmt.Println("== Automated mode selection (paper future work) ==")
-	sel, err := perfmodel.ModeSelectionReport(8)
+	sel, err := perfreport.ModeSelectionReport(8)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -159,6 +159,14 @@ func (k *Kernel) ProgramLen() int { return len(k.prog) }
 // PoolSize reports the scalar-pool length (consts + syms + derived).
 func (k *Kernel) PoolSize() int { return len(k.pool) }
 
+// InstrsPerPoint reports the number of VM instructions executed per grid
+// point: the row program's length (each row instruction performs its
+// operation once per point of the row; the bind-time scalar prelude is
+// excluded because it runs once per Apply, not per point). The autotuner's
+// cost model scales this by a per-instruction latency to predict compute
+// time.
+func (k *Kernel) InstrsPerPoint() int { return k.ProgramLen() }
+
 // ipow mirrors the interpreter's integer power helper exactly: repeated
 // multiplication starting from 1, with a final reciprocal for negative
 // exponents. Keeping the operation order identical keeps results

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	goruntime "runtime"
+	"strings"
+	"time"
+
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/perfmodel"
+)
+
+// Autotune policies: the compiler-picks-the-configuration loop of the
+// source paper. "model" trusts the analytic cost model; "search"
+// additionally times the model's shortlist on the first few real
+// timesteps of the run (every candidate is bit-exact, so tuning in place
+// never perturbs results).
+const (
+	// AutotuneOff disables self-configuration (the default).
+	AutotuneOff = "off"
+	// AutotuneModel adopts the cost model's top-ranked configuration.
+	AutotuneModel = "model"
+	// AutotuneSearch measures the model's shortlist empirically and keeps
+	// the winner.
+	AutotuneSearch = "search"
+)
+
+// AutotuneEnvVar overrides the policy when ApplyOpts.Autotune is unset —
+// the zero-user-code-changes switch: DEVIGO_AUTOTUNE=model|search|off.
+const AutotuneEnvVar = "DEVIGO_AUTOTUNE"
+
+// tuneStepsPerTrial is how many real timesteps the search policy charges
+// per candidate; the per-step minimum is kept to reject scheduling noise.
+const tuneStepsPerTrial = 3
+
+// resolveAutotune picks the policy: explicit ApplyOpts.Autotune wins, then
+// the DEVIGO_AUTOTUNE environment variable, then off.
+func resolveAutotune(requested string) (string, error) {
+	p := strings.ToLower(strings.TrimSpace(requested))
+	if p == "" {
+		p = strings.ToLower(strings.TrimSpace(os.Getenv(AutotuneEnvVar)))
+	}
+	switch p {
+	case "", AutotuneOff, "none", "0":
+		return AutotuneOff, nil
+	case AutotuneModel:
+		return AutotuneModel, nil
+	case AutotuneSearch, "on", "auto":
+		return AutotuneSearch, nil
+	}
+	return "", fmt.Errorf("core: unknown autotune policy %q (want %q, %q or %q)",
+		p, AutotuneOff, AutotuneModel, AutotuneSearch)
+}
+
+// Profile derives the autotuner's view of the operator: per-point
+// instruction counts from the compiled kernels, exchanged streams from
+// the halo schedule, and the slowest rank's box from the decomposition.
+// Every rank derives the identical profile without communication, so
+// planning is deterministic across a distributed run.
+func (op *Operator) Profile() perfmodel.OpProfile {
+	shape := append([]int(nil), op.Grid.Shape...)
+	ranks := 1
+	if op.ctx != nil && !op.ctx.Serial() && op.ctx.Decomp != nil {
+		shape = op.ctx.Decomp.MaxLocalShape()
+		ranks = op.ctx.Comm.Size()
+	}
+	instrs := 0
+	for _, k := range op.kernels {
+		instrs += k.InstrsPerPoint()
+	}
+	width := 0
+	for name := range op.exchangers {
+		f, ok := op.Fields[name]
+		if !ok {
+			continue
+		}
+		for _, h := range f.Halo {
+			if h > width {
+				width = h
+			}
+		}
+	}
+	p := perfmodel.OpProfile{
+		LocalShape:      shape,
+		InstrsPerPoint:  instrs,
+		StreamsPerPoint: op.StreamCount(),
+		HaloStreams:     op.HaloStreamCount(),
+		HaloWidth:       width,
+		Ranks:           ranks,
+		MaxWorkers:      goruntime.GOMAXPROCS(0),
+		Mode:            op.mode,
+	}
+	if op.forcedWorkers {
+		p.ForcedWorkers = op.execOpts.Workers
+	}
+	if op.forcedTileRows {
+		p.ForcedTileRows = op.execOpts.TileRows
+	}
+	return p
+}
+
+// adopt applies a planned configuration to the operator's runtime knobs,
+// retargeting the halo pattern when the choice differs from the current
+// one.
+func (op *Operator) adopt(cfg perfmodel.ExecConfig) error {
+	if cfg.Workers > 0 {
+		op.execOpts.Workers = cfg.Workers
+	}
+	if cfg.TileRows > 0 {
+		op.execOpts.TileRows = cfg.TileRows
+	}
+	if op.ctx != nil && !op.ctx.Serial() && cfg.Mode != halo.ModeNone && cfg.Mode != op.mode {
+		return op.Retarget(cfg.Mode)
+	}
+	return nil
+}
+
+// autotune self-configures the operator at the head of an Apply. The
+// search policy consumes timesteps of the live run through the step
+// callback (advancing *next/*remaining), timing tuneStepsPerTrial steps
+// per shortlisted candidate; the slowest rank's time decides (allreduced
+// max), so all ranks adopt the same winner. When too few steps remain the
+// search settles early on the best measurement so far, or on the model's
+// top choice if nothing was measured.
+func (op *Operator) autotune(policy string, step func(int), next *int, remaining *int, dir int) error {
+	prof := op.Profile()
+	host := perfmodel.DefaultHost()
+	if policy == AutotuneModel {
+		plan := perfmodel.Plan(host, prof)
+		if len(plan) == 0 {
+			return nil
+		}
+		if err := op.adopt(plan[0]); err != nil {
+			return err
+		}
+		op.tuned = true
+		op.tunePolicy = policy
+		return nil
+	}
+	// One untimed warmup step before the first trial: the very first
+	// step pays first-touch and cache-warming costs that would otherwise
+	// bias the search against whichever candidate happens to go first.
+	if *remaining > tuneStepsPerTrial {
+		step(*next)
+		*next += dir
+		*remaining--
+	}
+	measure := func(cfg perfmodel.ExecConfig) (float64, error) {
+		if *remaining < tuneStepsPerTrial {
+			return 0, perfmodel.ErrTuneBudget
+		}
+		if err := op.adopt(cfg); err != nil {
+			return 0, err
+		}
+		best := math.Inf(1)
+		for i := 0; i < tuneStepsPerTrial; i++ {
+			t0 := time.Now()
+			step(*next)
+			el := time.Since(t0).Seconds()
+			*next += dir
+			*remaining--
+			if el < best {
+				best = el
+			}
+		}
+		if op.ctx != nil && !op.ctx.Serial() {
+			best = op.ctx.Comm.AllreduceScalar(best, mpi.OpMax)
+		}
+		return best, nil
+	}
+	cfg, _, err := perfmodel.Tune(host, prof, 0, measure)
+	if err != nil {
+		return err
+	}
+	if err := op.adopt(cfg); err != nil {
+		return err
+	}
+	op.tuned = true
+	op.tunePolicy = policy
+	return nil
+}
+
+// EffectiveConfig is the configuration an operator actually runs with —
+// chosen by the autotuner or forced through Options — exported so
+// benchmarks can record their own provenance.
+type EffectiveConfig struct {
+	// Engine is the execution engine ("bytecode" or "interpreter").
+	Engine string `json:"engine"`
+	// Mode is the halo-exchange pattern ("none" when serial).
+	Mode string `json:"mode"`
+	// Workers is the effective worker-pool size (1 = sequential).
+	Workers int `json:"workers"`
+	// TileRows is the outer-dimension tile height.
+	TileRows int `json:"tile_rows"`
+	// Autotune is the policy that configured the operator ("off" when the
+	// configuration was forced or defaulted).
+	Autotune string `json:"autotune"`
+}
+
+// Config reports the operator's effective execution configuration.
+func (op *Operator) Config() EffectiveConfig {
+	w := op.execOpts.Workers
+	if w < 1 {
+		w = 1
+	}
+	pol := op.tunePolicy
+	if pol == "" {
+		pol = AutotuneOff
+	}
+	return EffectiveConfig{
+		Engine:   op.perf.Engine,
+		Mode:     op.mode.String(),
+		Workers:  w,
+		TileRows: op.execOpts.TileRows,
+		Autotune: pol,
+	}
+}

@@ -33,6 +33,7 @@ type execKernel interface {
 	Run(t int, b runtime.Box, syms []float64, opts *runtime.ExecOpts)
 	BindSyms(vals map[string]float64) ([]float64, error)
 	FlopsPerPoint() int
+	InstrsPerPoint() int
 	StencilRadius() []int
 }
 

@@ -48,6 +48,18 @@ type Operator struct {
 	kernels    []execKernel
 	exchangers map[string]halo.Exchanger
 	execOpts   runtime.ExecOpts
+	// mode is the operator's own halo pattern: seeded from the context at
+	// construction, switchable afterwards via Retarget (the context is
+	// shared between operators and is never mutated).
+	mode halo.Mode
+	// forcedWorkers/forcedTileRows record knobs pinned through Options;
+	// the autotuner never overrides an explicit user choice.
+	forcedWorkers  bool
+	forcedTileRows bool
+	// tuned is set once an autotune policy has configured the operator;
+	// later Apply calls reuse the choice instead of re-tuning.
+	tuned      bool
+	tunePolicy string
 	// stepExt[i] is the box extension (points beyond DOMAIN per side) for
 	// step i: nonzero only for CIRE scratch clusters.
 	stepExt []int
@@ -193,12 +205,15 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		Schedule:   sched,
 		Tree:       tree,
 		ctx:        ctx,
+		mode:       mode,
 		exchangers: map[string]halo.Exchanger{},
 	}
 	op.perf.Engine = engine
 	if opts != nil {
 		op.execOpts.Workers = opts.Workers
 		op.execOpts.TileRows = opts.TileRows
+		op.forcedWorkers = opts.Workers > 0
+		op.forcedTileRows = opts.TileRows > 0
 	}
 	if op.execOpts.TileRows <= 0 {
 		op.execOpts.TileRows = 8
@@ -233,37 +248,77 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		op.stepExt = append(op.stepExt, ext)
 	}
 
-	// Instantiate one exchanger per exchanged field.
-	if mode != halo.ModeNone {
-		stream := 0
-		addEx := func(reqs []ir.HaloReq) {
-			for _, h := range reqs {
-				if _, ok := op.exchangers[h.Field]; ok {
-					continue
-				}
-				f, ok := fields[h.Field]
-				if !ok {
-					continue
-				}
-				op.exchangers[h.Field] = halo.New(mode, ctx.Cart, f, stream)
-				stream++
+	op.buildExchangers()
+	op.emitCode()
+	return op, nil
+}
+
+// buildExchangers instantiates one exchanger per exchanged field for the
+// operator's current mode (clearing any previous set — Retarget rebuilds
+// through here). Stream numbering follows schedule order so tags stay
+// stable across rebuilds.
+func (op *Operator) buildExchangers() {
+	op.exchangers = map[string]halo.Exchanger{}
+	if op.mode == halo.ModeNone || op.ctx == nil || op.ctx.Serial() {
+		return
+	}
+	stream := 0
+	addEx := func(reqs []ir.HaloReq) {
+		for _, h := range reqs {
+			if _, ok := op.exchangers[h.Field]; ok {
+				continue
 			}
-		}
-		addEx(sched.Preamble)
-		for _, st := range sched.Steps {
-			addEx(st.Halos)
+			f, ok := op.Fields[h.Field]
+			if !ok {
+				continue
+			}
+			op.exchangers[h.Field] = halo.New(op.mode, op.ctx.Cart, f, stream)
+			stream++
 		}
 	}
+	addEx(op.Schedule.Preamble)
+	for _, st := range op.Schedule.Steps {
+		addEx(st.Halos)
+	}
+}
 
-	// Emit the C-like source for inspection and golden tests.
+// emitCode regenerates the C-like source for inspection and golden tests
+// from the operator's current IET.
+func (op *Operator) emitCode() {
 	em := &codegen.Emitter{Halo: map[string][]int{}, TimeBufs: map[string]int{}}
-	for n, f := range fields {
+	for n, f := range op.Fields {
 		em.Halo[n] = f.Halo
 		em.TimeBufs[n] = len(f.Bufs)
 	}
-	op.CCode = em.EmitC(tree)
-	return op, nil
+	op.CCode = em.EmitC(op.Tree)
 }
+
+// Retarget re-lowers the operator onto a different halo-exchange pattern:
+// the IET is rebuilt with the new mode's HaloSpot lowering, the exchanger
+// set is reinstantiated, and the generated source is refreshed. Compiled
+// kernels are untouched — the per-point programs are identical across
+// modes, which is why switching patterns (even between timesteps, as the
+// search autotuner does) never changes results. It is an error on a
+// serial operator.
+func (op *Operator) Retarget(mode halo.Mode) error {
+	if op.ctx == nil || op.ctx.Serial() {
+		return fmt.Errorf("core: %s: Retarget requires a distributed context", op.Name)
+	}
+	if mode == halo.ModeNone {
+		return fmt.Errorf("core: %s: cannot Retarget to mode none", op.Name)
+	}
+	if mode == op.mode {
+		return nil
+	}
+	op.mode = mode
+	op.Tree = iet.LowerHalos(iet.Build(op.Name, op.Schedule), mode)
+	op.buildExchangers()
+	op.emitCode()
+	return nil
+}
+
+// Mode reports the operator's current halo-exchange pattern.
+func (op *Operator) Mode() halo.Mode { return op.mode }
 
 // ApplyOpts configures an operator application.
 type ApplyOpts struct {
@@ -281,6 +336,15 @@ type ApplyOpts struct {
 	// PostStep runs after each timestep's clusters (source injection,
 	// receiver interpolation).
 	PostStep func(t int)
+	// Autotune selects the self-configuration policy: "off" (default),
+	// "model" (adopt the cost model's top-ranked halo mode / worker count
+	// / tile size before the first step) or "search" (additionally time
+	// the model's shortlist on the first few real timesteps and keep the
+	// measured winner — sound because every candidate configuration is
+	// bit-exact). An empty string consults the DEVIGO_AUTOTUNE environment
+	// variable. The choice sticks to the operator: later Apply calls reuse
+	// it instead of re-tuning.
+	Autotune string
 }
 
 // Apply runs the operator. It is deterministic: identical inputs produce
@@ -354,21 +418,33 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 		}
 		op.perf.Timesteps++
 	}
+	remaining := a.TimeN - a.TimeM + 1
+	if remaining < 0 {
+		remaining = 0
+	}
+	dir, next := 1, a.TimeM
 	if a.Reverse {
-		for t := a.TimeN; t >= a.TimeM; t-- {
-			step(t)
+		dir, next = -1, a.TimeN
+	}
+	policy, err := resolveAutotune(a.Autotune)
+	if err != nil {
+		return err
+	}
+	if policy != AutotuneOff && !op.tuned {
+		if err := op.autotune(policy, step, &next, &remaining, dir); err != nil {
+			return err
 		}
-	} else {
-		for t := a.TimeM; t <= a.TimeN; t++ {
-			step(t)
-		}
+	}
+	for ; remaining > 0; remaining-- {
+		step(next)
+		next += dir
 	}
 	return nil
 }
 
 // useOverlap reports whether step si runs under the full pattern.
 func (op *Operator) useOverlap(si int) bool {
-	if op.ctx == nil || op.ctx.Serial() || op.ctx.Mode != halo.ModeFull {
+	if op.ctx == nil || op.ctx.Serial() || op.mode != halo.ModeFull {
 		return false
 	}
 	return len(op.Schedule.Steps[si].Halos) > 0

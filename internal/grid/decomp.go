@@ -151,6 +151,25 @@ func (d *Decomposition) LocalShape(rank int) []int {
 	return shape
 }
 
+// MaxLocalShape returns the largest owned chunk per dimension over all
+// topology coordinates — the slowest rank's box. Every rank computes the
+// same answer without communication (the decomposition is globally known),
+// which lets performance models bound the per-step critical path
+// deterministically across a distributed run.
+func (d *Decomposition) MaxLocalShape() []int {
+	nd := len(d.Topology)
+	out := make([]int, nd)
+	for dim := 0; dim < nd; dim++ {
+		for c := 0; c < d.Topology[dim]; c++ {
+			lo, hi := d.LocalRange(dim, c)
+			if hi-lo > out[dim] {
+				out[dim] = hi - lo
+			}
+		}
+	}
+	return out
+}
+
 // LocalOrigin returns the global index of the first owned point per
 // dimension for a rank.
 func (d *Decomposition) LocalOrigin(rank int) []int {

@@ -1,0 +1,40 @@
+package halo
+
+// Traffic returns the per-timestep communication volume one exchanged
+// field stream generates under a mode, for a rank owning a local box of
+// the given shape with ghost width points per side: the number of
+// point-to-point messages posted and the byte volume shipped (float32
+// payload). All modes exchange the same *union* of data — the full halo
+// shell around the owned box — but package the shell differently:
+//
+//   - basic ships 6 fat slabs in 3-D (2 messages per dimension, with the
+//     corner regions forwarded transitively by the dimension sweep);
+//   - diagonal and full post the whole {-1,0,1}^n neighbourhood at once
+//     (26 thinner messages in 3-D), trading message count for a single
+//     communication phase (and, for full, asynchrony).
+//
+// Performance models (package perfmodel, both the paper scenarios and the
+// runtime autotuner) consume these numbers so that modelled bytes-moved
+// stays consistent with what the exchangers actually send.
+func Traffic(mode Mode, local []int, width int) (msgs int, bytes float64) {
+	if mode == ModeNone || width <= 0 {
+		return 0, 0
+	}
+	outer, inner := 1.0, 1.0
+	for d := range local {
+		outer *= float64(local[d]) + 2*float64(width)
+		inner *= float64(local[d])
+	}
+	bytes = 4 * (outer - inner)
+	switch mode {
+	case ModeBasic:
+		msgs = 2 * len(local)
+	case ModeDiagonal, ModeFull:
+		msgs = 1
+		for range local {
+			msgs *= 3
+		}
+		msgs--
+	}
+	return msgs, bytes
+}

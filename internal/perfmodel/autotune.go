@@ -1,0 +1,365 @@
+package perfmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"devigo/internal/halo"
+)
+
+// This file is the runtime autotuner: the paper's "the compiler should
+// pick the MPI-X configuration" claim turned into a subsystem. Package
+// core builds an OpProfile for each compiled operator (instruction counts
+// from the bytecode engine, exchanged streams from the schedule, the
+// slowest rank's box from the grid decomposition) and either adopts the
+// cost model's top-ranked configuration directly (policy "model") or runs
+// a bounded empirical search over the model's shortlist (policy "search",
+// via Tune). Every candidate configuration is bit-exact — halo mode,
+// worker count and tile size never change results, only speed — which is
+// what makes in-place tuning on the live simulation sound.
+
+// ExecConfig is one runnable execution configuration of an operator: the
+// communication pattern plus the shared-memory decomposition knobs.
+type ExecConfig struct {
+	// Mode is the halo-exchange pattern (ModeNone for serial runs).
+	Mode halo.Mode
+	// Workers is the worker-pool size (simulated OpenMP threads).
+	Workers int
+	// TileRows is the outer-dimension tile height (progress granularity).
+	TileRows int
+}
+
+// String renders the configuration as "mode/w<N>/t<M>".
+func (c ExecConfig) String() string {
+	return fmt.Sprintf("%s/w%d/t%d", c.Mode, c.Workers, c.TileRows)
+}
+
+// OpProfile is everything the autotuner needs to know about one compiled
+// operator and its execution environment. Core derives it from the
+// operator's compiled kernels, its halo schedule, and the grid
+// decomposition; every rank of a distributed run derives the identical
+// profile (the decomposition is globally known), so configuration
+// decisions are deterministic without communication.
+type OpProfile struct {
+	// LocalShape is the slowest rank's owned box (the global shape when
+	// serial) — the per-step critical path is computed on it.
+	LocalShape []int
+	// InstrsPerPoint is the summed per-point VM instruction count of the
+	// operator's compiled kernels (bytecode or interpreter programs).
+	InstrsPerPoint int
+	// StreamsPerPoint counts distinct (field, timeOffset) data streams
+	// touched per point: 4 bytes each of DRAM traffic per update.
+	StreamsPerPoint int
+	// HaloStreams is the number of per-timestep halo exchanges.
+	HaloStreams int
+	// HaloWidth is the widest exchanged ghost region.
+	HaloWidth int
+	// Ranks is the world size (1 = serial).
+	Ranks int
+	// MaxWorkers caps the worker-pool size (typically GOMAXPROCS).
+	MaxWorkers int
+	// Mode is the currently configured halo mode (ModeNone when serial).
+	Mode halo.Mode
+	// ForcedWorkers/ForcedTileRows pin user-specified knobs: when > 0 the
+	// candidate set only contains that value, so explicit configuration
+	// always wins over the tuner.
+	ForcedWorkers  int
+	ForcedTileRows int
+}
+
+// Host is the calibrated single-machine cost model the autotuner ranks
+// candidate configurations with. Unlike the paper-cluster Machines of this
+// package, Host describes the in-process runtime itself: VM dispatch
+// latency, goroutine scheduling overheads, and the channel-rendezvous
+// cost of the in-process MPI. Absolute accuracy is not required — only
+// the induced *ranking* matters, and the empirical search (Tune) corrects
+// residual model error on the shortlist.
+type Host struct {
+	// SecondsPerInstr is the per-point cost of one VM instruction.
+	SecondsPerInstr float64
+	// MemBandwidth is the sustainable DRAM bandwidth of the compute loop
+	// (bytes/s); per-point cost is the max of the instruction-latency and
+	// memory-traffic terms, a two-bound roofline.
+	MemBandwidth float64
+	// WorkerSpawn is the per-worker cost of starting the pool for one
+	// kernel launch (goroutine creation + channel setup).
+	WorkerSpawn float64
+	// TileOverhead is the per-tile scheduling cost (channel receive,
+	// odometer setup).
+	TileOverhead float64
+	// MsgLatency is the per-message rendezvous cost of the in-process MPI.
+	MsgLatency float64
+	// ExchangeBandwidth is the halo pack/copy/unpack bandwidth (bytes/s).
+	ExchangeBandwidth float64
+	// BasicPhasePenalty multiplies basic-mode communication time: the
+	// dimension sweep serialises into multiple rendezvous phases and
+	// allocates exchange buffers per call.
+	BasicPhasePenalty float64
+	// OverlapEff is the fraction of communication full mode hides under
+	// CORE computation (progress is only prodded between tiles).
+	OverlapEff float64
+	// StridePenalty multiplies per-point cost in REMAINDER slabs
+	// (non-contiguous accesses on the thin boundary boxes).
+	StridePenalty float64
+}
+
+// DefaultHost returns the stock calibration for the in-process runtime.
+// The constants are order-of-magnitude figures for a contemporary x86
+// core; they only need to induce the right ranking, and the search policy
+// re-measures the shortlist anyway.
+func DefaultHost() Host {
+	return Host{
+		SecondsPerInstr:   1.0e-9,
+		MemBandwidth:      8e9,
+		WorkerSpawn:       3e-6,
+		TileOverhead:      2e-7,
+		MsgLatency:        5e-6,
+		ExchangeBandwidth: 4e9,
+		BasicPhasePenalty: 1.6,
+		OverlapEff:        0.5,
+		StridePenalty:     1.5,
+	}
+}
+
+// MaxWorkersDefault returns the default worker-pool cap: GOMAXPROCS.
+func MaxWorkersDefault() int { return runtime.GOMAXPROCS(0) }
+
+// Candidates enumerates the configuration space the autotuner considers
+// for a profile: halo modes (when distributed), power-of-two worker
+// counts up to the host cap, and a small ladder of tile heights. Forced
+// knobs collapse their axis to the pinned value. The enumeration is
+// deterministic, and devigo-bench's exhaustive autotune sweep iterates
+// exactly this set, so a tuner choice always has a sweep entry to be
+// compared against.
+func Candidates(p OpProfile) []ExecConfig {
+	rows := 1
+	if len(p.LocalShape) > 0 {
+		rows = p.LocalShape[0]
+	}
+	var workers []int
+	switch {
+	case p.ForcedWorkers > 0:
+		workers = []int{p.ForcedWorkers}
+	default:
+		wcap := p.MaxWorkers
+		if wcap < 1 {
+			wcap = MaxWorkersDefault()
+		}
+		if wcap > rows {
+			wcap = rows
+		}
+		for w := 1; w <= wcap; w *= 2 {
+			workers = append(workers, w)
+		}
+		if last := workers[len(workers)-1]; last < wcap {
+			workers = append(workers, wcap)
+		}
+	}
+	var tiles []int
+	switch {
+	case p.ForcedTileRows > 0:
+		tiles = []int{p.ForcedTileRows}
+	default:
+		seen := map[int]bool{}
+		for _, t := range []int{4, 8, 32, rows} {
+			if t < 1 || t > rows || seen[t] {
+				continue
+			}
+			seen[t] = true
+			tiles = append(tiles, t)
+		}
+		if len(tiles) == 0 {
+			tiles = []int{rows}
+		}
+	}
+	modes := []halo.Mode{p.Mode}
+	if p.Ranks > 1 && p.Mode != halo.ModeNone {
+		modes = []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull}
+	}
+	var out []ExecConfig
+	for _, m := range modes {
+		for _, w := range workers {
+			for _, t := range tiles {
+				out = append(out, ExecConfig{Mode: m, Workers: w, TileRows: t})
+			}
+		}
+	}
+	return out
+}
+
+// Predict models one timestep's wall time for a profile under a
+// configuration — the same computation/communication structure as the
+// paper Scenario model (two-bound per-point cost, alpha-beta exchange
+// cost, CORE/REMAINDER overlap for full mode) instantiated with the
+// in-process Host constants and the actual compiled instruction counts.
+func (h Host) Predict(p OpProfile, c ExecConfig) float64 {
+	pts := float64(prod(p.LocalShape))
+	rows := 1
+	if len(p.LocalShape) > 0 {
+		rows = p.LocalShape[0]
+	}
+	tile := c.TileRows
+	if tile < 1 || tile > rows {
+		tile = rows
+	}
+	ntiles := (rows + tile - 1) / tile
+	w := c.Workers
+	if w < 1 {
+		w = 1
+	}
+	if p.MaxWorkers > 0 && w > p.MaxWorkers {
+		w = p.MaxWorkers
+	}
+	if w > ntiles {
+		w = ntiles
+	}
+
+	perPoint := float64(p.InstrsPerPoint) * h.SecondsPerInstr
+	if mem := 4 * float64(p.StreamsPerPoint) / h.MemBandwidth; mem > perPoint {
+		perPoint = mem
+	}
+	// The slowest worker drains ceil(ntiles/w) tiles; tile quantisation is
+	// what makes tiny tiles balance better and huge tiles serialise.
+	tilesWorker := (ntiles + w - 1) / w
+	rowsWorker := tilesWorker * tile
+	if rowsWorker > rows {
+		rowsWorker = rows
+	}
+	compute := pts * float64(rowsWorker) / float64(rows) * perPoint
+	compute += float64(tilesWorker) * h.TileOverhead
+	if c.Workers > 1 {
+		compute += float64(c.Workers) * h.WorkerSpawn
+	}
+	if p.Ranks <= 1 || c.Mode == halo.ModeNone {
+		return compute
+	}
+
+	msgs, perStream := halo.Traffic(c.Mode, p.LocalShape, p.HaloWidth)
+	nm := float64(msgs * p.HaloStreams)
+	bytes := perStream * float64(p.HaloStreams)
+	comm := nm*h.MsgLatency + bytes/h.ExchangeBandwidth
+	switch c.Mode {
+	case halo.ModeBasic:
+		return compute + comm*h.BasicPhasePenalty
+	case halo.ModeDiagonal:
+		return compute + comm
+	case halo.ModeFull:
+		corePts := 1.0
+		for d := range p.LocalShape {
+			side := p.LocalShape[d] - 2*p.HaloWidth
+			if side < 0 {
+				side = 0
+			}
+			corePts *= float64(side)
+		}
+		remPts := pts - corePts
+		coreCompute := compute * corePts / pts
+		remCompute := compute * remPts / pts * h.StridePenalty
+		hidden := comm * h.OverlapEff
+		overlapped := coreCompute
+		if hidden > overlapped {
+			overlapped = hidden
+		}
+		return overlapped + (comm - hidden) + remCompute
+	}
+	return compute + comm
+}
+
+// Plan ranks the candidate configurations of a profile by predicted step
+// time, fastest first. Ties break deterministically (mode, then workers,
+// then tile rows) so every rank of a distributed run computes the same
+// order from the same profile.
+func Plan(h Host, p OpProfile) []ExecConfig {
+	cands := Candidates(p)
+	pred := make([]float64, len(cands))
+	for i, c := range cands {
+		pred[i] = h.Predict(p, c)
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if pred[idx[a]] != pred[idx[b]] {
+			return pred[idx[a]] < pred[idx[b]]
+		}
+		ca, cb := cands[idx[a]], cands[idx[b]]
+		if ca.Mode != cb.Mode {
+			return ca.Mode < cb.Mode
+		}
+		if ca.Workers != cb.Workers {
+			return ca.Workers < cb.Workers
+		}
+		return ca.TileRows < cb.TileRows
+	})
+	out := make([]ExecConfig, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// ErrTuneBudget is returned by a Tune measure callback to signal that no
+// further trial can be afforded (e.g. the run has too few timesteps
+// left); Tune stops and settles on the best configuration measured so
+// far.
+var ErrTuneBudget = errors.New("perfmodel: tuning budget exhausted")
+
+// DefaultSearchTrials is the number of model-shortlisted configurations
+// the search policy measures empirically.
+const DefaultSearchTrials = 6
+
+// Trial records one empirical measurement of the search.
+type Trial struct {
+	Config  ExecConfig
+	Seconds float64
+}
+
+// Tune is the bounded empirical search: it ranks the candidate space with
+// the cost model (Plan), measures the top `trials` configurations through
+// the caller's measure callback (expected to time a few short runs — for
+// the in-place tuner, real timesteps of the live simulation, which is
+// sound because every candidate is bit-exact), and returns the measured
+// winner plus the trial log. Model ranking decides which configurations
+// are worth timing; measurement decides between them. If measure returns
+// ErrTuneBudget before anything was measured, the model's top choice is
+// returned. Any other measure error aborts.
+func Tune(h Host, p OpProfile, trials int, measure func(ExecConfig) (float64, error)) (ExecConfig, []Trial, error) {
+	plan := Plan(h, p)
+	if len(plan) == 0 {
+		return ExecConfig{}, nil, errors.New("perfmodel: empty candidate space")
+	}
+	if trials <= 0 {
+		trials = DefaultSearchTrials
+	}
+	if trials > len(plan) {
+		trials = len(plan)
+	}
+	var log []Trial
+	for _, cfg := range plan[:trials] {
+		s, err := measure(cfg)
+		if errors.Is(err, ErrTuneBudget) {
+			break
+		}
+		if err != nil {
+			return ExecConfig{}, log, err
+		}
+		log = append(log, Trial{Config: cfg, Seconds: s})
+	}
+	if len(log) == 0 {
+		return plan[0], log, nil
+	}
+	best := log[0]
+	for _, t := range log[1:] {
+		if t.Seconds < best.Seconds {
+			best = t
+		}
+	}
+	if math.IsNaN(best.Seconds) {
+		return plan[0], log, nil
+	}
+	return best.Config, log, nil
+}

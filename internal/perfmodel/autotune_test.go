@@ -1,0 +1,223 @@
+package perfmodel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"devigo/internal/halo"
+)
+
+func serialProfile(rows int) OpProfile {
+	return OpProfile{
+		LocalShape:      []int{rows, rows},
+		InstrsPerPoint:  40,
+		StreamsPerPoint: 4,
+		Ranks:           1,
+		MaxWorkers:      8,
+		Mode:            halo.ModeNone,
+	}
+}
+
+func dmpProfile(rows int) OpProfile {
+	p := serialProfile(rows)
+	p.Ranks = 4
+	p.Mode = halo.ModeDiagonal
+	p.HaloStreams = 1
+	p.HaloWidth = 4
+	return p
+}
+
+func TestCandidatesSerialHaveSingleMode(t *testing.T) {
+	for _, c := range Candidates(serialProfile(128)) {
+		if c.Mode != halo.ModeNone {
+			t.Fatalf("serial candidate has mode %v", c.Mode)
+		}
+	}
+}
+
+func TestCandidatesDistributedCoverAllModes(t *testing.T) {
+	seen := map[halo.Mode]bool{}
+	for _, c := range Candidates(dmpProfile(128)) {
+		seen[c.Mode] = true
+	}
+	for _, m := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+		if !seen[m] {
+			t.Errorf("mode %v missing from distributed candidates", m)
+		}
+	}
+}
+
+func TestCandidatesRespectForcedKnobs(t *testing.T) {
+	p := serialProfile(128)
+	p.ForcedWorkers = 3
+	p.ForcedTileRows = 11
+	for _, c := range Candidates(p) {
+		if c.Workers != 3 || c.TileRows != 11 {
+			t.Fatalf("forced knobs not honoured: %v", c)
+		}
+	}
+}
+
+func TestCandidatesWorkersBoundedByRowsAndCap(t *testing.T) {
+	p := serialProfile(2) // only 2 outer rows
+	for _, c := range Candidates(p) {
+		if c.Workers > 2 {
+			t.Errorf("worker count %d exceeds row count", c.Workers)
+		}
+		if c.TileRows > 2 {
+			t.Errorf("tile rows %d exceeds row count", c.TileRows)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	h := DefaultHost()
+	p := dmpProfile(96)
+	a, b := Plan(h, p), Plan(h, p)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlanPrefersParallelOnLargeSerialGrids(t *testing.T) {
+	h := DefaultHost()
+	big := Plan(h, serialProfile(1024))
+	if big[0].Workers < 2 {
+		t.Errorf("1024^2 grid on 8 cores should plan parallel execution, got %v", big[0])
+	}
+	tiny := Plan(h, serialProfile(8))
+	if tiny[0].Workers != 1 {
+		t.Errorf("8^2 grid should not pay worker-pool overhead, got %v", tiny[0])
+	}
+}
+
+func TestPredictFullModeBenefitsFromOverlap(t *testing.T) {
+	// With communication dominating, full mode's overlap must beat the
+	// synchronous diagonal pattern under the model.
+	h := DefaultHost()
+	h.MsgLatency = 1e-3 // force a comm-bound regime
+	p := dmpProfile(256)
+	diag := h.Predict(p, ExecConfig{Mode: halo.ModeDiagonal, Workers: 1, TileRows: 8})
+	full := h.Predict(p, ExecConfig{Mode: halo.ModeFull, Workers: 1, TileRows: 8})
+	if full >= diag {
+		t.Errorf("comm-bound full (%g) should beat diag (%g)", full, diag)
+	}
+}
+
+func TestTunePicksMeasuredMinimum(t *testing.T) {
+	h := DefaultHost()
+	p := serialProfile(128)
+	// Synthetic ground truth that disagrees with the model: the *last*
+	// shortlisted configuration (the one the model likes least among the
+	// measured set) is declared fastest. Tune must believe the
+	// measurement, not the model.
+	plan := Plan(h, p)
+	short := DefaultSearchTrials
+	if short > len(plan) {
+		short = len(plan)
+	}
+	target := plan[short-1]
+	measure := func(c ExecConfig) (float64, error) {
+		if c == target {
+			return 0.1, nil
+		}
+		return 1.0, nil
+	}
+	cfg, trials, err := Tune(h, p, 0, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != short {
+		t.Fatalf("expected %d trials, got %d", short, len(trials))
+	}
+	if cfg != target {
+		t.Fatalf("tune ignored the measured minimum %v, picked %v", target, cfg)
+	}
+}
+
+func TestTuneBudgetExhaustedFallsBackToModel(t *testing.T) {
+	h := DefaultHost()
+	p := serialProfile(128)
+	plan := Plan(h, p)
+	cfg, trials, err := Tune(h, p, 0, func(ExecConfig) (float64, error) {
+		return 0, ErrTuneBudget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 0 {
+		t.Fatalf("expected no trials, got %v", trials)
+	}
+	if cfg != plan[0] {
+		t.Errorf("budget fallback should be the model's top choice %v, got %v", plan[0], cfg)
+	}
+}
+
+func TestTunePartialBudgetKeepsBestMeasurement(t *testing.T) {
+	h := DefaultHost()
+	p := serialProfile(128)
+	n := 0
+	cfg, trials, err := Tune(h, p, 0, func(c ExecConfig) (float64, error) {
+		n++
+		if n > 2 {
+			return 0, ErrTuneBudget
+		}
+		return float64(3 - n), nil // second trial is faster
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("expected 2 trials, got %d", len(trials))
+	}
+	if cfg != trials[1].Config {
+		t.Errorf("expected the second (faster) trial %v, got %v", trials[1].Config, cfg)
+	}
+}
+
+func TestTunePropagatesMeasureErrors(t *testing.T) {
+	h := DefaultHost()
+	boom := errors.New("boom")
+	_, _, err := Tune(h, serialProfile(64), 0, func(ExecConfig) (float64, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected measure error to propagate, got %v", err)
+	}
+}
+
+func TestTrafficConsistency(t *testing.T) {
+	// The scenario model and the autotuner share halo.Traffic; sanity-check
+	// the shapes here so a regression surfaces in this package too.
+	local := []int{64, 64, 64}
+	mb, bb := halo.Traffic(halo.ModeBasic, local, 4)
+	md, bd := halo.Traffic(halo.ModeDiagonal, local, 4)
+	if mb != 6 || md != 26 {
+		t.Errorf("3-D message counts: basic=%d diag=%d, want 6/26", mb, md)
+	}
+	if bb != bd {
+		t.Errorf("both modes ship the same shell: %g vs %g", bb, bd)
+	}
+	if bb <= 0 {
+		t.Errorf("shell bytes must be positive, got %g", bb)
+	}
+	if m, b := halo.Traffic(halo.ModeNone, local, 4); m != 0 || b != 0 {
+		t.Errorf("mode none must be free, got %d msgs %g bytes", m, b)
+	}
+}
+
+func TestExecConfigString(t *testing.T) {
+	c := ExecConfig{Mode: halo.ModeFull, Workers: 4, TileRows: 16}
+	if got, want := c.String(), "full/w4/t16"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if fmt.Sprint(c) != c.String() {
+		t.Error("fmt should use String()")
+	}
+}

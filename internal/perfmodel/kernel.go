@@ -1,18 +1,14 @@
 package perfmodel
 
-import (
-	"fmt"
-
-	"devigo/internal/core"
-	"devigo/internal/propagators"
-)
-
 // KernelChar characterises one wave kernel at one space order — everything
 // the analytic model needs, derived from the *actual compiled equations*
-// (not hand-entered constants).
+// (not hand-entered constants). Build one with perfreport.Characterize,
+// which runs a probe model through the full compiler pipeline.
 type KernelChar struct {
+	// Name is the propagator name ("acoustic", "tti", ...).
 	Name string
-	SO   int
+	// SO is the space order of the discretisation.
+	SO int
 	// FlopsPerPoint is the per-gridpoint flop cost summed over clusters.
 	FlopsPerPoint float64
 	// StreamsPerPoint counts the distinct (field, timeOffset) data streams
@@ -34,35 +30,4 @@ func (k KernelChar) BytesPerPoint() float64 { return 4 * k.StreamsPerPoint }
 // OperationalIntensity returns flops per DRAM byte.
 func (k KernelChar) OperationalIntensity() float64 {
 	return k.FlopsPerPoint / k.BytesPerPoint()
-}
-
-// Characterize builds the model on a tiny probe grid (per-point stencil
-// characteristics are grid-size independent), runs it through the full
-// compiler pipeline — CIRE, invariant hoisting, CSE — and extracts the
-// counters of the *generated* code.
-func Characterize(modelName string, so int) (KernelChar, error) {
-	probe := 4 * so // comfortably larger than any stencil radius
-	cfg := propagators.Config{
-		Shape:      []int{probe, probe, probe},
-		SpaceOrder: so,
-		NBL:        0,
-		Velocity:   1.5,
-	}
-	m, err := propagators.Build(modelName, cfg)
-	if err != nil {
-		return KernelChar{}, fmt.Errorf("perfmodel: %w", err)
-	}
-	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, nil, &core.Options{Name: modelName})
-	if err != nil {
-		return KernelChar{}, err
-	}
-	return KernelChar{
-		Name:             modelName,
-		SO:               so,
-		HaloWidth:        so,
-		WorkingSetFields: m.WorkingSetFields,
-		FlopsPerPoint:    float64(op.FlopsPerPointOptimized()),
-		StreamsPerPoint:  float64(op.StreamCount()),
-		HaloStreams:      op.HaloStreamCount(),
-	}, nil
 }

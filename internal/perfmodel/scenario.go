@@ -96,48 +96,31 @@ func prod(xs []int) int {
 	return p
 }
 
-// shellBytes returns the byte volume of the exchanged halo shell for one
-// field stream: both modes ship the same union of data (the full shell),
-// basic via 6 fat slabs, diagonal via 26 thin ones.
-func shellBytes(local []int, h float64) float64 {
-	outer, inner := 1.0, 1.0
-	for d := range local {
-		outer *= float64(local[d]) + 2*h
-		inner *= float64(local[d])
-	}
-	return 4 * (outer - inner)
-}
-
 // commTime models one timestep's halo-exchange cost for the slowest rank.
-// Messages of all exchanged fields are bundled per step (preallocated
-// buffer bundles for diagonal/full; one allocation sweep for basic), so
-// per-message overheads are paid once per step while byte volume scales
-// with the stream count.
+// Message counts and byte volumes come from halo.Traffic (the exchangers'
+// own accounting). Messages of all exchanged fields are bundled per step
+// (preallocated buffer bundles for diagonal/full; one allocation sweep for
+// basic), so per-message overheads are paid once per step while byte
+// volume scales with the stream count.
 func (s *Scenario) commTime(local []int) float64 {
 	if s.Ranks() == 1 {
 		return 0
 	}
 	alpha, beta := s.interconnect()
-	h := float64(s.Kernel.HaloWidth)
-	nd := len(local)
 	streams := float64(s.Kernel.HaloStreams)
-	bytes := shellBytes(local, h) * streams
+	msgs, perStream := halo.Traffic(s.Mode, local, s.Kernel.HaloWidth)
+	nmsgs := float64(msgs)
+	bytes := perStream * streams
 
 	switch s.Mode {
 	case halo.ModeBasic:
 		// 2 messages per dimension, three synchronous rendezvous phases:
 		// fewer, larger messages, but the multi-step sync and the C-land
 		// allocation keep the wire under-saturated (Table I).
-		nmsgs := float64(2 * nd)
 		return nmsgs*alpha + bytes/(beta*s.Machine.BWEffBasic)
 	case halo.ModeDiagonal, halo.ModeFull:
 		// Single-step posting of the full neighbourhood: 26 messages in
 		// 3-D, smaller each, streaming from preallocated buffers.
-		nmsgs := 1.0
-		for i := 0; i < nd; i++ {
-			nmsgs *= 3
-		}
-		nmsgs--
 		return nmsgs*alpha + bytes/(beta*s.Machine.BWEffSingleStep)
 	default:
 		return 0

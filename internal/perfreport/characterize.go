@@ -1,0 +1,47 @@
+// Package perfreport regenerates the paper's modeled evaluation: it glues
+// the pure analytic machinery of package perfmodel to the real compiler
+// (package core) and the wave propagators (package propagators), producing
+// the strong/weak scaling tables, the roofline report and the automated
+// mode-selection ablation of the paper. It sits above both layers so that
+// perfmodel itself stays free of compiler dependencies and can in turn be
+// imported by core for the runtime autotuner.
+package perfreport
+
+import (
+	"fmt"
+
+	"devigo/internal/core"
+	"devigo/internal/perfmodel"
+	"devigo/internal/propagators"
+)
+
+// Characterize builds the model on a tiny probe grid (per-point stencil
+// characteristics are grid-size independent), runs it through the full
+// compiler pipeline — CIRE, invariant hoisting, CSE — and extracts the
+// counters of the *generated* code.
+func Characterize(modelName string, so int) (perfmodel.KernelChar, error) {
+	probe := 4 * so // comfortably larger than any stencil radius
+	cfg := propagators.Config{
+		Shape:      []int{probe, probe, probe},
+		SpaceOrder: so,
+		NBL:        0,
+		Velocity:   1.5,
+	}
+	m, err := propagators.Build(modelName, cfg)
+	if err != nil {
+		return perfmodel.KernelChar{}, fmt.Errorf("perfreport: %w", err)
+	}
+	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, nil, &core.Options{Name: modelName})
+	if err != nil {
+		return perfmodel.KernelChar{}, err
+	}
+	return perfmodel.KernelChar{
+		Name:             modelName,
+		SO:               so,
+		HaloWidth:        so,
+		WorkingSetFields: m.WorkingSetFields,
+		FlopsPerPoint:    float64(op.FlopsPerPointOptimized()),
+		StreamsPerPoint:  float64(op.StreamCount()),
+		HaloStreams:      op.HaloStreamCount(),
+	}, nil
+}

@@ -1,10 +1,11 @@
-package perfmodel
+package perfreport
 
 import (
 	"fmt"
 	"strings"
 
 	"devigo/internal/halo"
+	"devigo/internal/perfmodel"
 )
 
 // PaperNodeCounts is the node/device axis of every scaling figure.
@@ -54,7 +55,7 @@ type ScalingTable struct {
 
 // StrongScaling regenerates one strong-scaling table (paper Tables
 // III-XXXIV; Figures 8-11, 13-20).
-func StrongScaling(model string, so int, machine Machine) (*ScalingTable, error) {
+func StrongScaling(model string, so int, machine perfmodel.Machine) (*ScalingTable, error) {
 	kc, err := Characterize(model, so)
 	if err != nil {
 		return nil, err
@@ -76,7 +77,7 @@ func StrongScaling(model string, so int, machine Machine) (*ScalingTable, error)
 	for _, mode := range modes {
 		row := make([]float64, len(PaperNodeCounts))
 		for i, n := range PaperNodeCounts {
-			s := Scenario{Kernel: kc, Machine: machine, Shape: shape, Nodes: n, Mode: mode}
+			s := perfmodel.Scenario{Kernel: kc, Machine: machine, Shape: shape, Nodes: n, Mode: mode}
 			tput, err := s.ThroughputGPts()
 			if err != nil {
 				return nil, err
@@ -104,7 +105,7 @@ type WeakPoint struct {
 // WeakScaling regenerates one series of paper Figures 12/21-24: constant
 // 256^3 per rank (CPU) or per device (GPU), doubling one dimension per
 // doubling of resources, runtime for the model's paper timestep count.
-func WeakScaling(model string, so int, machine Machine, mode halo.Mode) ([]WeakPoint, error) {
+func WeakScaling(model string, so int, machine perfmodel.Machine, mode halo.Mode) ([]WeakPoint, error) {
 	kc, err := Characterize(model, so)
 	if err != nil {
 		return nil, err
@@ -123,7 +124,7 @@ func WeakScaling(model string, so int, machine Machine, mode halo.Mode) ([]WeakP
 			g /= 2
 			d = (d + 1) % 3
 		}
-		s := Scenario{Kernel: kc, Machine: machine, Shape: shape, Nodes: n, Mode: mode}
+		s := perfmodel.Scenario{Kernel: kc, Machine: machine, Shape: shape, Nodes: n, Mode: mode}
 		st, err := s.StepTime()
 		if err != nil {
 			return nil, err
@@ -176,13 +177,13 @@ func RooflineReport(so int) (string, error) {
 	var b strings.Builder
 	b.WriteString("Integrated CPU/GPU roofline (paper Fig. 7)\n")
 	fmt.Fprintf(&b, "%-14s %-16s %10s %12s %8s\n", "kernel", "machine", "AI(F/B)", "GFlop/s", "bound")
-	for _, machine := range []Machine{Archer2Node(), TursaA100()} {
+	for _, machine := range []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()} {
 		for _, model := range []string{"acoustic", "tti", "elastic", "viscoelastic"} {
 			kc, err := Characterize(model, so)
 			if err != nil {
 				return "", err
 			}
-			p := Roofline(kc, machine)
+			p := perfmodel.Roofline(kc, machine)
 			fmt.Fprintf(&b, "%-14s %-16s %10.2f %12.1f %8s\n", model, machine.Name, p.AI, p.GFlops, p.Bound)
 		}
 	}
@@ -206,8 +207,8 @@ func ModeSelectionReport(so int) (string, error) {
 		}
 		fmt.Fprintf(&b, "%-14s", model)
 		for _, n := range PaperNodeCounts {
-			s := Scenario{Kernel: kc, Machine: Archer2Node(), Shape: CPUShape(model), Nodes: n}
-			mode, _, err := SelectMode(s)
+			s := perfmodel.Scenario{Kernel: kc, Machine: perfmodel.Archer2Node(), Shape: CPUShape(model), Nodes: n}
+			mode, _, err := perfmodel.SelectMode(s)
 			if err != nil {
 				return "", err
 			}

@@ -1,15 +1,16 @@
-package perfmodel
+package perfreport
 
 import (
 	"math"
 	"testing"
 
 	"devigo/internal/halo"
+	"devigo/internal/perfmodel"
 )
 
-var charCache = map[string]KernelChar{}
+var charCache = map[string]perfmodel.KernelChar{}
 
-func char(t testing.TB, model string, so int) KernelChar {
+func char(t testing.TB, model string, so int) perfmodel.KernelChar {
 	t.Helper()
 	key := model + string(rune('0'+so/4))
 	if kc, ok := charCache[key]; ok {
@@ -78,7 +79,7 @@ func TestSingleNodeCPUThroughputBallpark(t *testing.T) {
 	// hold: acoustic >> tti > elastic > viscoelastic (Tables IV, VIII,
 	// XII, XVI: 12.4, 1.7, 3.5, 1.1).
 	get := func(model string) float64 {
-		s := Scenario{Kernel: char(t, model, 8), Machine: Archer2Node(),
+		s := perfmodel.Scenario{Kernel: char(t, model, 8), Machine: perfmodel.Archer2Node(),
 			Shape: []int{1024, 1024, 1024}, Nodes: 1, Mode: halo.ModeBasic}
 		tput, err := s.ThroughputGPts()
 		if err != nil {
@@ -99,7 +100,7 @@ func TestSingleNodeCPUThroughputBallpark(t *testing.T) {
 }
 
 func TestStrongScalingEfficiencyDecays(t *testing.T) {
-	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: Archer2Node(),
+	s := perfmodel.Scenario{Kernel: char(t, "acoustic", 8), Machine: perfmodel.Archer2Node(),
 		Shape: []int{1024, 1024, 1024}, Mode: halo.ModeBasic}
 	prev := math.Inf(1)
 	for _, nodes := range []int{2, 8, 32, 128} {
@@ -128,7 +129,7 @@ func TestTTIScalesBestOfAllKernels(t *testing.T) {
 	// Paper Section IV-D: TTI has the highest computation-to-communication
 	// ratio and therefore the best strong-scaling efficiency.
 	effOf := func(model string) float64 {
-		s := Scenario{Kernel: char(t, model, 8), Machine: Archer2Node(),
+		s := perfmodel.Scenario{Kernel: char(t, model, 8), Machine: perfmodel.Archer2Node(),
 			Shape: []int{1024, 1024, 1024}, Nodes: 128, Mode: halo.ModeDiagonal}
 		eff, err := s.Efficiency()
 		if err != nil {
@@ -145,12 +146,12 @@ func TestTTIScalesBestOfAllKernels(t *testing.T) {
 }
 
 func TestModePreferences(t *testing.T) {
-	m := Archer2Node()
+	m := perfmodel.Archer2Node()
 	// Paper Fig. 8a / Table IV: at 128 nodes the acoustic kernel favours
 	// basic over diagonal and full.
-	ac := Scenario{Kernel: char(t, "acoustic", 8), Machine: m,
+	ac := perfmodel.Scenario{Kernel: char(t, "acoustic", 8), Machine: m,
 		Shape: []int{1024, 1024, 1024}, Nodes: 128}
-	best, _, err := SelectMode(ac)
+	best, _, err := perfmodel.SelectMode(ac)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,9 +159,9 @@ func TestModePreferences(t *testing.T) {
 		t.Errorf("acoustic@128 best mode = %v, paper says basic", best)
 	}
 	// Paper Table VIII: elastic at 128 nodes favours diagonal.
-	el := Scenario{Kernel: char(t, "elastic", 8), Machine: m,
+	el := perfmodel.Scenario{Kernel: char(t, "elastic", 8), Machine: m,
 		Shape: []int{1024, 1024, 1024}, Nodes: 128}
-	best, _, err = SelectMode(el)
+	best, _, err = perfmodel.SelectMode(el)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,9 +170,9 @@ func TestModePreferences(t *testing.T) {
 	}
 	// Paper Section IV-D: full is never the best choice for TTI.
 	for _, nodes := range []int{2, 8, 32, 128} {
-		tti := Scenario{Kernel: char(t, "tti", 8), Machine: m,
+		tti := perfmodel.Scenario{Kernel: char(t, "tti", 8), Machine: m,
 			Shape: []int{1024, 1024, 1024}, Nodes: nodes}
-		best, _, err := SelectMode(tti)
+		best, _, err := perfmodel.SelectMode(tti)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func TestFullModeRemainderPenaltyGrowsWithSO(t *testing.T) {
 	// hurting full mode more.
 	rel := func(so int) float64 {
 		k := char(t, "acoustic", so)
-		full := Scenario{Kernel: k, Machine: Archer2Node(),
+		full := perfmodel.Scenario{Kernel: k, Machine: perfmodel.Archer2Node(),
 			Shape: []int{1024, 1024, 1024}, Nodes: 64, Mode: halo.ModeFull}
 		diag := full
 		diag.Mode = halo.ModeDiagonal
@@ -207,9 +208,9 @@ func TestFullModeRemainderPenaltyGrowsWithSO(t *testing.T) {
 
 func TestGPUFasterAtFewDevicesLessEfficientAtScale(t *testing.T) {
 	ac := char(t, "acoustic", 8)
-	cpu := Scenario{Kernel: ac, Machine: Archer2Node(), Shape: []int{1024, 1024, 1024},
+	cpu := perfmodel.Scenario{Kernel: ac, Machine: perfmodel.Archer2Node(), Shape: []int{1024, 1024, 1024},
 		Nodes: 1, Mode: halo.ModeBasic}
-	gpu := Scenario{Kernel: ac, Machine: TursaA100(), Shape: []int{1158, 1158, 1158},
+	gpu := perfmodel.Scenario{Kernel: ac, Machine: perfmodel.TursaA100(), Shape: []int{1158, 1158, 1158},
 		Nodes: 1, Mode: halo.ModeBasic}
 	tc, err := cpu.ThroughputGPts()
 	if err != nil {
@@ -239,7 +240,7 @@ func TestGPUFasterAtFewDevicesLessEfficientAtScale(t *testing.T) {
 }
 
 func TestGPURejectsNonBasicModes(t *testing.T) {
-	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: TursaA100(),
+	s := perfmodel.Scenario{Kernel: char(t, "acoustic", 8), Machine: perfmodel.TursaA100(),
 		Shape: []int{512, 512, 512}, Nodes: 8, Mode: halo.ModeDiagonal}
 	if _, err := s.StepTime(); err == nil {
 		t.Error("diagonal on GPU must be rejected (Table I)")
@@ -249,12 +250,12 @@ func TestGPURejectsNonBasicModes(t *testing.T) {
 func TestWeakScalingRuntimeNearlyFlat(t *testing.T) {
 	// Paper Fig. 12: runtime stays nearly constant at 256^3 per rank.
 	k := char(t, "acoustic", 8)
-	m := Archer2Node()
+	m := perfmodel.Archer2Node()
 	runtimeAt := func(nodes int) float64 {
 		ranks := nodes * m.RanksPerNode
 		topo := []int{ranks, 1, 1}
 		shape := []int{256 * ranks, 256, 256}
-		s := Scenario{Kernel: k, Machine: m, Shape: shape, Nodes: nodes,
+		s := perfmodel.Scenario{Kernel: k, Machine: m, Shape: shape, Nodes: nodes,
 			Mode: halo.ModeBasic, Topology: topo}
 		st, err := s.StepTime()
 		if err != nil {
@@ -275,11 +276,11 @@ func TestWeakScalingRuntimeNearlyFlat(t *testing.T) {
 func TestWeakScalingGPUAbout4xFaster(t *testing.T) {
 	// Paper Fig. 12: GPUs are consistently ~4x faster in weak scaling.
 	k := char(t, "acoustic", 8)
-	cpu := Archer2Node()
-	gpu := TursaA100()
-	sc := Scenario{Kernel: k, Machine: cpu, Shape: []int{512, 512, 512}, Nodes: 8,
+	cpu := perfmodel.Archer2Node()
+	gpu := perfmodel.TursaA100()
+	sc := perfmodel.Scenario{Kernel: k, Machine: cpu, Shape: []int{512, 512, 512}, Nodes: 8,
 		Mode: halo.ModeBasic}
-	sg := Scenario{Kernel: k, Machine: gpu, Shape: []int{512, 512, 512}, Nodes: 8,
+	sg := perfmodel.Scenario{Kernel: k, Machine: gpu, Shape: []int{512, 512, 512}, Nodes: 8,
 		Mode: halo.ModeBasic}
 	tc, err := sc.StepTime()
 	if err != nil {
@@ -300,9 +301,9 @@ func TestWeakScalingGPUAbout4xFaster(t *testing.T) {
 
 func TestRooflineAllKernelsMemoryBoundOnCPU(t *testing.T) {
 	// Paper Fig. 7: flop-optimised kernels are mainly DRAM-bandwidth bound.
-	m := Archer2Node()
+	m := perfmodel.Archer2Node()
 	for _, model := range []string{"acoustic", "elastic", "viscoelastic"} {
-		p := Roofline(char(t, model, 8), m)
+		p := perfmodel.Roofline(char(t, model, 8), m)
 		if p.Bound != "memory" {
 			t.Errorf("%s should be memory bound on EPYC, got %s (AI %.1f)", model, p.Bound, p.AI)
 		}
@@ -314,8 +315,8 @@ func TestTopologyOverrideMatchesPaperTuning(t *testing.T) {
 	// messages, no z-strided remainder traffic); at minimum the override
 	// must be honoured and produce a different prediction.
 	k := char(t, "acoustic", 8)
-	m := Archer2Node()
-	auto := Scenario{Kernel: k, Machine: m, Shape: []int{1024, 1024, 1024},
+	m := perfmodel.Archer2Node()
+	auto := perfmodel.Scenario{Kernel: k, Machine: m, Shape: []int{1024, 1024, 1024},
 		Nodes: 16, Mode: halo.ModeFull}
 	tuned := auto
 	tuned.Topology = []int{16, 8, 1}
@@ -333,7 +334,7 @@ func TestTopologyOverrideMatchesPaperTuning(t *testing.T) {
 }
 
 func TestScenarioRejectsBadTopology(t *testing.T) {
-	s := Scenario{Kernel: char(t, "acoustic", 8), Machine: Archer2Node(),
+	s := perfmodel.Scenario{Kernel: char(t, "acoustic", 8), Machine: perfmodel.Archer2Node(),
 		Shape: []int{256, 256, 256}, Nodes: 2, Mode: halo.ModeBasic,
 		Topology: []int{3, 1, 1}}
 	if _, err := s.StepTime(); err == nil {

@@ -114,6 +114,9 @@ type AdjointConfig struct {
 	TileRows int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
+	// Autotune selects the self-configuration policy forwarded to
+	// core.ApplyOpts.Autotune ("" consults DEVIGO_AUTOTUNE).
+	Autotune string
 }
 
 // AdjointResult carries the outputs of a time-reversed run.
@@ -200,6 +203,7 @@ func RunAdjoint(fwd *Model, ctx *core.Context, ac AdjointConfig) (*AdjointResult
 		Reverse:  true,
 		Syms:     map[string]float64{"dt": dt},
 		PostStep: postStep,
+		Autotune: ac.Autotune,
 	}); err != nil {
 		return nil, err
 	}

@@ -41,6 +41,12 @@ type GradientConfig struct {
 	TileRows int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
+	// Autotune selects the self-configuration policy for the forward and
+	// adjoint operators ("" consults DEVIGO_AUTOTUNE). The forward pass
+	// can tune with the full search; the adjoint sweep applies one step
+	// at a time, so a search request degrades gracefully to the model's
+	// top choice there.
+	Autotune string
 }
 
 // GradientResult carries the outputs of a gradient computation.
@@ -67,6 +73,9 @@ type GradientResult struct {
 	// ForwardPerf / AdjointPerf report the two operators' section timings
 	// (ForwardPerf excludes the reverse sweep's recomputation).
 	ForwardPerf, AdjointPerf core.Perf
+	// ForwardConfig / AdjointConfig record the effective execution
+	// configurations (chosen by the autotuner or forced) for provenance.
+	ForwardConfig, AdjointConfig core.EffectiveConfig
 }
 
 // RunGradient computes an FWI-style gradient on the acoustic model: a
@@ -104,13 +113,15 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		ReceiverCoords: gc.ReceiverCoords,
 		Checkpoint:     store,
 		Workers:        gc.Workers, TileRows: gc.TileRows,
-		Engine: gc.Engine,
+		Engine:   gc.Engine,
+		Autotune: gc.Autotune,
 	}
 	fres, err := Run(m, ctx, rc)
 	if err != nil {
 		return nil, err
 	}
-	res := &GradientResult{NT: nt, DT: fres.DT, Receivers: fres.Receivers, ForwardPerf: fres.Perf}
+	res := &GradientResult{NT: nt, DT: fres.DT, Receivers: fres.Receivers,
+		ForwardPerf: fres.Perf, ForwardConfig: fres.Op.Config()}
 
 	// The adjoint source: residual against observed data when given,
 	// otherwise the synthetics themselves.
@@ -212,6 +223,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		}
 		if err := adjOp.Apply(&core.ApplyOpts{
 			TimeM: t, TimeN: t, Reverse: true, Syms: syms,
+			Autotune: gc.Autotune,
 			PostStep: func(t int) {
 				for r, d := range adjSrc[t-1] {
 					vals[r] = float32(d) * scale
@@ -230,6 +242,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 	res.Gradient = grad
 	res.GradNorm = normOf(grad, ctx, 0)
 	res.AdjointPerf = adjOp.Report()
+	res.AdjointConfig = adjOp.Config()
 	res.Checkpoint = store.Stats
 	for t := 0; t < nt; t++ {
 		for r := range adjSrc[t] {

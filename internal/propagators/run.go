@@ -41,6 +41,10 @@ type RunConfig struct {
 	TileRows int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
+	// Autotune selects the self-configuration policy forwarded to
+	// core.ApplyOpts.Autotune: "model", "search" or "off" ("" consults
+	// DEVIGO_AUTOTUNE).
+	Autotune string
 }
 
 // RunResult carries the outputs of a forward run.
@@ -104,6 +108,7 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 		TimeN:    nt - 1,
 		Syms:     map[string]float64{"dt": dt},
 		PostStep: postStep,
+		Autotune: rc.Autotune,
 	}); err != nil {
 		return nil, err
 	}

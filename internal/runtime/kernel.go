@@ -247,6 +247,21 @@ func (k *Kernel) FlopsPerPoint() int {
 	return n
 }
 
+// InstrsPerPoint reports the number of VM instructions the interpreter
+// dispatches per grid point: the summed program lengths of every per-point
+// temporary and update equation. The autotuner's cost model scales this by
+// a per-instruction latency to predict compute time.
+func (k *Kernel) InstrsPerPoint() int {
+	n := 0
+	for _, e := range k.Temps {
+		n += len(e.prog)
+	}
+	for _, e := range k.Eqs {
+		n += len(e.prog)
+	}
+	return n
+}
+
 // BindSyms builds the scalar binding vector from a name->value map,
 // erroring on missing entries.
 func (k *Kernel) BindSyms(vals map[string]float64) ([]float64, error) {

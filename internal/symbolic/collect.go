@@ -197,6 +197,7 @@ type SolveError struct {
 	Reason string
 }
 
+// Error implements the error interface.
 func (e *SolveError) Error() string {
 	return "symbolic: cannot solve for " + e.Target + ": " + e.Reason
 }

@@ -113,6 +113,7 @@ var (
 // S returns a named scalar symbol.
 func S(name string) Sym { return Sym{Name: name} }
 
+// String renders the rational as an integer or a/b fraction.
 func (n Num) String() string {
 	if n.Val.IsInt() {
 		return n.Val.Num().String()
@@ -120,8 +121,10 @@ func (n Num) String() string {
 	return n.Val.RatString()
 }
 
+// String returns the symbol's name.
 func (s Sym) String() string { return s.Name }
 
+// String renders the access in u[t+1, x, y] index notation.
 func (a Access) String() string {
 	var b strings.Builder
 	b.WriteString(a.Fun.Name)
@@ -158,6 +161,7 @@ func (a Access) String() string {
 	return b.String()
 }
 
+// String renders the sum as a parenthesised + chain.
 func (a Add) String() string {
 	parts := make([]string, len(a.Terms))
 	for i, t := range a.Terms {
@@ -166,6 +170,7 @@ func (a Add) String() string {
 	return "(" + strings.Join(parts, " + ") + ")"
 }
 
+// String renders the product as a * chain.
 func (m Mul) String() string {
 	parts := make([]string, len(m.Factors))
 	for i, f := range m.Factors {
@@ -174,10 +179,12 @@ func (m Mul) String() string {
 	return strings.Join(parts, "*")
 }
 
+// String renders the power in base**exp notation.
 func (p Pow) String() string {
 	return fmt.Sprintf("%s**%d", p.Base.String(), p.Exp)
 }
 
+// String renders the derivative in d^n/d<dim>^n(expr) notation.
 func (d Deriv) String() string {
 	dim := "t"
 	if d.Dim >= 0 {
@@ -306,6 +313,7 @@ type Eq struct {
 	RHS Expr
 }
 
+// String renders the equation as "lhs = rhs".
 func (e Eq) String() string { return e.LHS.String() + " = " + e.RHS.String() }
 
 // Walk visits every node of the expression tree in depth-first order. If fn
