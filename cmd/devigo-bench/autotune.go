@@ -20,6 +20,7 @@ type AutotuneCandidate struct {
 	Mode     string  `json:"mode"`
 	Workers  int     `json:"workers"`
 	TileRows int     `json:"tile_rows"`
+	TimeTile int     `json:"time_tile"`
 	Seconds  float64 `json:"seconds"`
 	Norm     float64 `json:"norm"`
 }
@@ -160,8 +161,12 @@ func runAutotuneScenario(sc autotuneScenario, size, so, nt int) (*AutotuneScenar
 				best = r
 			}
 		}
+		kc := c.TimeTile
+		if kc < 1 {
+			kc = 1
+		}
 		block.Candidates = append(block.Candidates, AutotuneCandidate{
-			Mode: c.Mode.String(), Workers: c.Workers, TileRows: c.TileRows,
+			Mode: c.Mode.String(), Workers: c.Workers, TileRows: c.TileRows, TimeTile: kc,
 			Seconds: best.seconds, Norm: best.norm,
 		})
 	}
@@ -203,7 +208,7 @@ func runAutotuneScenario(sc autotuneScenario, size, so, nt int) (*AutotuneScenar
 
 func lookupCandidate(cands []AutotuneCandidate, eff core.EffectiveConfig) (AutotuneCandidate, bool) {
 	for _, c := range cands {
-		if c.Mode == eff.Mode && c.Workers == eff.Workers && c.TileRows == eff.TileRows {
+		if c.Mode == eff.Mode && c.Workers == eff.Workers && c.TileRows == eff.TileRows && c.TimeTile == eff.TimeTile {
 			return c, true
 		}
 	}
@@ -236,7 +241,11 @@ func autotuneProfile(sc autotuneScenario, shape []int, so int) (perfmodel.OpProf
 		if err != nil {
 			return err
 		}
-		op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx, nil)
+		// TimeTile pinned to 1 so a stray DEVIGO_TIME_TILE cannot open the
+		// k-axis: this experiment's contract is the classic
+		// (mode x workers x tile_rows) space; -exp timetile owns the
+		// exchange-interval axis.
+		op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx, &core.Options{TimeTile: 1})
 		if err != nil {
 			return err
 		}
@@ -264,11 +273,19 @@ func autotuneProfile(sc autotuneScenario, shape []int, so int) (perfmodel.OpProf
 // autotuneRunOne executes one scenario run, either forced to a candidate
 // configuration (policy == "") or self-configuring under a policy.
 func autotuneRunOne(sc autotuneScenario, shape []int, so, nt int, cand perfmodel.ExecConfig, policy string) (atRun, error) {
+	// Deep-halo capacity is deliberately NOT provisioned here — TimeTile
+	// is pinned to 1 on every run (candidates carry time_tile 1; a stray
+	// DEVIGO_TIME_TILE must not leak in), so the candidate space is the
+	// classic (mode x workers x tile_rows) grid. The exchange-interval
+	// axis has its own experiment and gates (-exp timetile), whose sweep
+	// opens the axis explicitly.
 	rcOf := func() propagators.RunConfig {
-		rc := propagators.RunConfig{NT: nt, NReceivers: 4}
+		rc := propagators.RunConfig{NT: nt, NReceivers: 4, TimeTile: 1}
 		if policy == "" {
 			rc.Workers = cand.Workers
 			rc.TileRows = cand.TileRows
+			rc.TimeTile = cand.TimeTile
+			rc.Autotune = core.AutotuneOff
 		} else {
 			rc.Autotune = policy
 		}

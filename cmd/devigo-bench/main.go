@@ -27,6 +27,16 @@
 //
 //	devigo-bench -exp adjoint -size 128 -nt 60 -ckpt 8 -out .
 //
+// -exp timetile evaluates communication-avoiding time tiling: on a
+// 4-rank world it sweeps the halo-exchange interval k over {1,2,4,8} for
+// the acoustic (single-cluster) and elastic (two-cluster) schedules,
+// certifies every interval bit-exact against k=1 (exiting non-zero on
+// divergence), records real per-step MPI message/byte counters alongside
+// the modelled amortized figures, and reports what the autotune policies
+// choose with the k-axis open — writing BENCH_timetile.json:
+//
+//	devigo-bench -exp timetile -size 48 -nt 64 -out .
+//
 // -exp autotune evaluates the autotuning subsystem: it exhaustively
 // sweeps the tuner's candidate space (halo mode x worker count x tile
 // size) per scenario, lets the "model" and "search" policies choose, and
@@ -53,7 +63,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
@@ -107,6 +117,8 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error 
 		return runAdjoint(size, nt, ckpt, out)
 	case "autotune":
 		return runAutotuneExp(models, sos, size, nt, out)
+	case "timetile":
+		return runTimetile(models, sos, size, nt, out)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/propagators"
+)
+
+// TimeTileKMetrics records one exchange interval's measured 4-rank run.
+type TimeTileKMetrics struct {
+	// K is the requested interval; EffectiveK what the compiler adopted
+	// (chunk feasibility may clamp, untileable schedules fall back to 1).
+	K          int `json:"k"`
+	EffectiveK int `json:"effective_k"`
+	// Seconds is the slowest rank's compute+halo time; Gptss the derived
+	// throughput (redundant shell points included in the point count).
+	Seconds float64 `json:"seconds"`
+	Gptss   float64 `json:"gptss"`
+	// Norm is the global wavefield checksum; BitExact compares it (and
+	// the absence of NaNs) against the k=1 reference with ==.
+	Norm     float64 `json:"norm"`
+	BitExact bool    `json:"bit_exact_vs_k1"`
+	// MsgsPerStep/BytesPerStep are *real* counters from the in-process
+	// MPI accounting divided by the step count (includes the once-per-run
+	// preamble and one final norm reduction — amortized noise).
+	MsgsPerStep  float64 `json:"msgs_per_step"`
+	BytesPerStep float64 `json:"bytes_per_step"`
+	// MsgRatioVsK1 is MsgsPerStep over the k=1 run's figure.
+	MsgRatioVsK1 float64 `json:"msg_ratio_vs_k1"`
+	// ModelMsgsPerStep is the halo.AmortizedTraffic steady-state figure
+	// (core.Operator.CommStats) for cross-checking the counters.
+	ModelMsgsPerStep float64              `json:"model_msgs_per_step"`
+	Config           core.EffectiveConfig `json:"config"`
+}
+
+// TimeTileAutotune records what each policy chose with the k-axis open.
+type TimeTileAutotune struct {
+	// Model/Search are the effective configurations the two policies
+	// adopted (the model policy is deterministic; search measures live
+	// timesteps). BitExact confirms both autotuned norms equal the k=1
+	// reference.
+	Model    core.EffectiveConfig `json:"model"`
+	Search   core.EffectiveConfig `json:"search"`
+	BitExact bool                 `json:"bit_exact"`
+}
+
+// TimeTileScenario is one scenario block of BENCH_timetile.json.
+type TimeTileScenario struct {
+	Name       string             `json:"name"`
+	Shape      []int              `json:"shape"`
+	SpaceOrder int                `json:"space_order"`
+	NT         int                `json:"nt"`
+	Ranks      int                `json:"ranks"`
+	Mode       string             `json:"mode"`
+	Sweep      []TimeTileKMetrics `json:"sweep"`
+	// SpeedupBestK is the best swept interval's time over the k=1 time.
+	SpeedupBestK float64          `json:"speedup_best_k_over_k1"`
+	Autotune     TimeTileAutotune `json:"autotune"`
+}
+
+// TimeTileReport is the BENCH_timetile.json schema: the
+// communication-avoiding deep-halo sweep per scenario.
+type TimeTileReport struct {
+	Ks        []int              `json:"ks"`
+	Scenarios []TimeTileScenario `json:"scenarios"`
+}
+
+// ttRunOut is one measured run.
+type ttRunOut struct {
+	seconds  float64
+	norm     float64
+	eff      core.EffectiveConfig
+	msgs     int
+	bytes    int64
+	modelMsg float64
+	points   int64
+}
+
+// runTimetile sweeps the exchange interval k over {1,2,4,8} per scenario
+// on a 4-rank world, certifying bit-exactness against k=1 and recording
+// real message counters, and lets both autotune policies choose with the
+// k-axis open. Bit-exactness violations are errors (CI consumes the exit
+// status); the latency-dependent gates live in the CI jq checks.
+func runTimetile(models []string, sos []int, size, nt int, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ks := []int{1, 2, 4, 8}
+	report := TimeTileReport{Ks: ks}
+	if len(models) == 1 && models[0] == "acoustic" {
+		// The default sweep covers the single-cluster and the
+		// two-cluster (staggered) schedules.
+		models = []string{"acoustic", "elastic"}
+	}
+	for _, so := range sos {
+		for _, model := range models {
+			name := model
+			if len(sos) > 1 {
+				name = fmt.Sprintf("%s_so%d", model, so)
+			}
+			block, err := runTimetileScenario(name, model, size, so, nt, ks)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			report.Scenarios = append(report.Scenarios, *block)
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_timetile.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+func runTimetileScenario(name, model string, size, so, nt int, ks []int) (*TimeTileScenario, error) {
+	shape := []int{size, size}
+	const ranks = 4
+	mode := halo.ModeDiagonal
+	block := &TimeTileScenario{
+		Name: name, Shape: shape, SpaceOrder: so, NT: nt, Ranks: ranks, Mode: mode.String(),
+	}
+	fmt.Printf("Time-tile sweep %s: %dx%d so-%02d nt=%d ranks=%d mode=%s\n",
+		name, size, size, so, nt, ranks, mode)
+
+	var ref ttRunOut
+	for i, k := range ks {
+		r, err := timetileRunOne(model, shape, so, nt, k, "")
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			ref = r
+		}
+		bitExact := r.norm == ref.norm && r.norm == r.norm
+		if !bitExact {
+			return nil, fmt.Errorf("k=%d norm %v != k=1 norm %v (time tiling broke bit-exactness)", k, r.norm, ref.norm)
+		}
+		m := TimeTileKMetrics{
+			K: k, EffectiveK: r.eff.TimeTile,
+			Seconds: r.seconds, Norm: r.norm, BitExact: bitExact,
+			MsgsPerStep:      float64(r.msgs) / float64(nt),
+			BytesPerStep:     float64(r.bytes) / float64(nt),
+			ModelMsgsPerStep: r.modelMsg,
+			Config:           r.eff,
+		}
+		if r.seconds > 0 {
+			m.Gptss = float64(r.points) / r.seconds / 1e9
+		}
+		if refMsgs := float64(ref.msgs); refMsgs > 0 {
+			m.MsgRatioVsK1 = float64(r.msgs) / refMsgs
+		}
+		block.Sweep = append(block.Sweep, m)
+		fmt.Printf("  k=%d (eff %d): %.4fs, %.1f msgs/step (ratio %.2f), bit_exact=%v\n",
+			k, m.EffectiveK, m.Seconds, m.MsgsPerStep, m.MsgRatioVsK1, m.BitExact)
+	}
+	best := block.Sweep[0].Seconds
+	for _, m := range block.Sweep[1:] {
+		if m.Seconds < best {
+			best = m.Seconds
+		}
+	}
+	if best > 0 {
+		block.SpeedupBestK = block.Sweep[0].Seconds / best
+	}
+
+	block.Autotune.BitExact = true
+	for _, policy := range []string{core.AutotuneModel, core.AutotuneSearch} {
+		r, err := timetileRunOne(model, shape, so, nt, core.MaxTileCandidate, policy)
+		if err != nil {
+			return nil, err
+		}
+		if r.norm != ref.norm {
+			block.Autotune.BitExact = false
+		}
+		if policy == core.AutotuneModel {
+			block.Autotune.Model = r.eff
+		} else {
+			block.Autotune.Search = r.eff
+		}
+		fmt.Printf("  autotune %-6s chose mode=%s k=%d workers=%d tile_rows=%d\n",
+			policy, r.eff.Mode, r.eff.TimeTile, r.eff.Workers, r.eff.TileRows)
+	}
+	if !block.Autotune.BitExact {
+		return nil, fmt.Errorf("autotuned runs diverged from the k=1 reference")
+	}
+	return block, nil
+}
+
+// timetileRunOne measures one 4-rank run: forced to interval k when
+// policy is empty, else self-configuring (with ghost capacity for the
+// full k-axis). Receivers are disabled so the MPI counters see halo
+// traffic plus only the final norm reduction.
+func timetileRunOne(model string, shape []int, so, nt, k int, policy string) (ttRunOut, error) {
+	var out ttRunOut
+	const ranks = 4
+	errs := make([]error, ranks)
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), nil)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		cfg := propagators.Config{Shape: shape, SpaceOrder: so, NBL: 8, Velocity: 1.5,
+			Decomp: dec, Rank: c.Rank()}
+		m, err := propagators.Build(model, cfg)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+		rc := propagators.RunConfig{NT: nt, TimeTile: k, Autotune: policy}
+		if policy == "" {
+			rc.Autotune = core.AutotuneOff
+		}
+		res, err := propagators.Run(m, ctx, rc)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		sec := res.Perf.ComputeSeconds + res.Perf.HaloSeconds
+		sec = c.AllreduceScalar(sec, mpi.OpMax)
+		if c.Rank() == 0 {
+			cs := res.Op.CommStats()
+			out = ttRunOut{
+				seconds:  sec,
+				norm:     res.Norm,
+				eff:      res.Op.Config(),
+				modelMsg: cs.MsgsPerStep,
+				points:   res.Perf.PointsUpdated,
+			}
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return out, e
+		}
+	}
+	for _, s := range w.StatsSnapshot() {
+		out.msgs += s.MsgsSent
+		out.bytes += s.BytesSent
+	}
+	return out, nil
+}

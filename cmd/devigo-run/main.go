@@ -28,6 +28,7 @@ func main() {
 	nbl := flag.Int("nbl", 8, "absorbing layer width")
 	ranks := flag.Int("ranks", 1, "MPI ranks (in-process)")
 	mpiMode := flag.String("mpi", "basic", "halo mode: basic|diag|full")
+	tile := flag.Int("tile", 0, "halo-exchange interval k (deep halos exchanged every k steps; 0 = DEVIGO_TIME_TILE or 1)")
 	nrec := flag.Int("receivers", 8, "receiver line length")
 	emitC := flag.Bool("emit-c", false, "print the generated C-like code and exit")
 	flag.Parse()
@@ -80,12 +81,16 @@ func main() {
 			panic(err)
 		}
 		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
-		res, err := propagators.Run(m, ctx, propagators.RunConfig{NT: *nt, NReceivers: *nrec})
+		res, err := propagators.Run(m, ctx, propagators.RunConfig{NT: *nt, NReceivers: *nrec, TimeTile: *tile})
 		if err != nil {
 			panic(err)
 		}
 		if c.Rank() == 0 {
-			report(fmt.Sprintf("%d ranks, %s mode, topology %v", c.Size(), mode, dec.Topology), res)
+			label := fmt.Sprintf("%d ranks, %s mode, topology %v", c.Size(), mode, dec.Topology)
+			if k := res.Op.TimeTile(); k > 1 {
+				label += fmt.Sprintf(", exchange interval %d", k)
+			}
+			report(label, res)
 			st := c.World().StatsSnapshot()
 			var msgs int
 			var bytes int64

@@ -75,12 +75,19 @@ type scalarInstr struct {
 }
 
 // slot is a resolved field access: which function, which time offset, and
-// the flat buffer displacement of the stencil offset.
+// the per-dimension stencil offset. The flat buffer displacement is
+// derived from the field's *current* strides at every Run, so reallocating
+// ghost storage (deep halos for a larger exchange interval) never requires
+// recompiling kernels.
 type slot struct {
 	fieldIdx int
 	timeOff  int
-	flatOff  int
+	off      [maxDims]int
 }
+
+// maxDims bounds the spatial dimensionality of compiled kernels (the
+// compiler's dimension names are x, y, z).
+const maxDims = 3
 
 // eqOut records where one equation's row store lands.
 type eqOut struct {

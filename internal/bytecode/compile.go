@@ -88,7 +88,7 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 	}
 
 	// Validate that all fields share the local domain shape; differing
-	// halo widths are fine (strides are baked into flat offsets).
+	// halo widths are fine (strides are resolved at execution time).
 	for i := 1; i < len(k.Fields); i++ {
 		for d := range k.Fields[0].LocalShape {
 			if k.Fields[i].LocalShape[d] != k.Fields[0].LocalShape[d] {
@@ -386,12 +386,11 @@ func (c *compiler) load(a symbolic.Access) (opnd, error) {
 	if err != nil {
 		return opnd{}, err
 	}
-	f := c.k.Fields[fi]
-	flat := 0
-	for d, o := range a.Off {
-		flat += o * f.Bufs[0].Strides[d]
+	if len(a.Off) > maxDims {
+		return opnd{}, fmt.Errorf("bytecode: access %s exceeds %d dimensions", a, maxDims)
 	}
-	s := slot{fieldIdx: fi, timeOff: a.TimeOff, flatOff: flat}
+	s := slot{fieldIdx: fi, timeOff: a.TimeOff}
+	copy(s.off[:], a.Off)
 	si, ok := c.slotIdx[s]
 	if !ok {
 		si = int32(len(c.k.slots))

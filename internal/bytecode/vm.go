@@ -26,10 +26,19 @@ func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpt
 		tileRows = opts.TileRows
 		progress = opts.Progress
 	}
-	// Resolve per-(field,timeOff) data slices once per step.
+	// Resolve per-(field,timeOff) data slices — and each slot's flat
+	// stencil displacement against the field's *current* strides — once per
+	// step, so ghost-storage reallocation between steps is transparent.
 	slotData := make([][]float32, len(k.slots))
+	slotOff := make([]int, len(k.slots))
 	for i, s := range k.slots {
-		slotData[i] = k.Fields[s.fieldIdx].Buf(t + s.timeOff).Data
+		f := k.Fields[s.fieldIdx]
+		slotData[i] = f.Buf(t + s.timeOff).Data
+		flat := 0
+		for d := 0; d < len(b.Lo); d++ {
+			flat += s.off[d] * f.Bufs[0].Strides[d]
+		}
+		slotOff[i] = flat
 	}
 	outData := make([][]float32, len(k.eqs))
 	for i, e := range k.eqs {
@@ -78,7 +87,7 @@ func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpt
 				}
 				bases[fi] = base
 			}
-			k.sweep(regs, maxRow, rowLen, bases, slotData, outData, pool)
+			k.sweep(regs, maxRow, rowLen, bases, slotData, slotOff, outData, pool)
 			// Advance the odometer over dims nd-2 .. 0 (dim 0 bounded by
 			// the tile).
 			d := nd - 2
@@ -140,8 +149,9 @@ func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpt
 }
 
 // sweep executes the flat program once over one row of n points. stride is
-// the register-file row pitch (>= n).
-func (k *Kernel) sweep(regs []float64, stride, n int, bases []int, slotData, outData [][]float32, pool []float64) {
+// the register-file row pitch (>= n); slotOff carries the per-slot flat
+// stencil displacements resolved against the current field strides.
+func (k *Kernel) sweep(regs []float64, stride, n int, bases []int, slotData [][]float32, slotOff []int, outData [][]float32, pool []float64) {
 	reg := func(r int32) []float64 {
 		off := int(r) * stride
 		return regs[off : off+n]
@@ -151,7 +161,7 @@ func (k *Kernel) sweep(regs []float64, stride, n int, bases []int, slotData, out
 		switch in.op {
 		case opLoad:
 			s := &k.slots[in.b]
-			off := bases[s.fieldIdx] + s.flatOff
+			off := bases[s.fieldIdx] + slotOff[in.b]
 			src := slotData[in.b][off : off+n]
 			rd := reg(in.rd)
 			for i, v := range src {

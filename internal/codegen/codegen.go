@@ -72,6 +72,30 @@ func (em *Emitter) emitNode(b *strings.Builder, n iet.Node, depth int) {
 		em.emitList(b, v.Body, depth+1)
 		indent(b, depth)
 		b.WriteString("}\n")
+	case iet.TimeTile:
+		indent(b, depth)
+		fmt.Fprintf(b, "/* communication-avoiding time tiling: deep halo exchanged every %d steps */\n", v.K)
+		indent(b, depth)
+		fmt.Fprintf(b, "for (int tile = time_m; tile <= time_M; tile += %d)\n", v.K)
+		indent(b, depth)
+		b.WriteString("{\n")
+		async := ""
+		if v.Update.Async {
+			async = "_async"
+		}
+		indent(b, depth+1)
+		fmt.Fprintf(b, "haloupdate_deep%s_%s(%s);\n", async, v.Update.Mode, haloTimedFieldList(v.Update.Fields))
+		indent(b, depth+1)
+		fmt.Fprintf(b, "for (int time = tile; time <= MIN(tile + %d, time_M); time += 1)\n", v.K-1)
+		indent(b, depth+1)
+		b.WriteString("{\n")
+		indent(b, depth+2)
+		b.WriteString("/* ghost shell shrinks by the schedule stride per substep */\n")
+		em.emitList(b, v.Body, depth+2)
+		indent(b, depth+1)
+		b.WriteString("}\n")
+		indent(b, depth)
+		b.WriteString("}\n")
 	case iet.LoopNest:
 		em.emitNest(b, v, depth, "DOMAIN")
 	case iet.OverlapSection:
@@ -115,6 +139,24 @@ func haloFieldList(fs []ir.HaloReq) string {
 	parts := make([]string, len(fs))
 	for i, f := range fs {
 		parts[i] = f.Field
+	}
+	return strings.Join(parts, ",")
+}
+
+// haloTimedFieldList renders halo requirements with their time offsets —
+// a time-tiled exchange names multiple buffers of the same field (e.g.
+// "u[tile],u[tile-1]").
+func haloTimedFieldList(fs []ir.HaloReq) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		switch {
+		case f.TimeOff == 0:
+			parts[i] = fmt.Sprintf("%s[tile]", f.Field)
+		case f.TimeOff > 0:
+			parts[i] = fmt.Sprintf("%s[tile + %d]", f.Field, f.TimeOff)
+		default:
+			parts[i] = fmt.Sprintf("%s[tile - %d]", f.Field, -f.TimeOff)
+		}
 	}
 	return strings.Join(parts, ",")
 }

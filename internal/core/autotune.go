@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"os"
 	goruntime "runtime"
 	"strings"
 	"time"
 
 	"devigo/internal/halo"
+	"devigo/internal/ir"
 	"devigo/internal/mpi"
 	"devigo/internal/perfmodel"
 )
@@ -71,18 +71,25 @@ func (op *Operator) Profile() perfmodel.OpProfile {
 	for _, k := range op.kernels {
 		instrs += k.InstrsPerPoint()
 	}
+	// HaloWidth is the k=1 baseline exchange width (the pre-growth base
+	// halo): Predict charges deep intervals TileStride per extra substep
+	// on top of it, so reporting the active plan's deep depth here would
+	// double-count and overcharge the k=1 candidates.
 	width := 0
-	for name := range op.exchangers {
-		f, ok := op.Fields[name]
+	for name := range op.exHalo {
+		base, ok := op.baseHalo[name]
 		if !ok {
-			continue
+			if f, okF := op.Fields[name]; okF {
+				base = f.Halo
+			}
 		}
-		for _, h := range f.Halo {
+		for _, h := range base {
 			if h > width {
 				width = h
 			}
 		}
 	}
+	stride, streams := op.tileProfile()
 	p := perfmodel.OpProfile{
 		LocalShape:      shape,
 		InstrsPerPoint:  instrs,
@@ -92,6 +99,10 @@ func (op *Operator) Profile() perfmodel.OpProfile {
 		Ranks:           ranks,
 		MaxWorkers:      goruntime.GOMAXPROCS(0),
 		Mode:            op.mode,
+		TimeTile:        op.TimeTile(),
+		MaxTimeTile:     op.maxFeasibleTile(),
+		TileStride:      stride,
+		TileStreams:     streams,
 	}
 	if op.forcedWorkers {
 		p.ForcedWorkers = op.execOpts.Workers
@@ -103,8 +114,8 @@ func (op *Operator) Profile() perfmodel.OpProfile {
 }
 
 // adopt applies a planned configuration to the operator's runtime knobs,
-// retargeting the halo pattern when the choice differs from the current
-// one.
+// retargeting the halo pattern and/or exchange interval when the choice
+// differs from the current one.
 func (op *Operator) adopt(cfg perfmodel.ExecConfig) error {
 	if cfg.Workers > 0 {
 		op.execOpts.Workers = cfg.Workers
@@ -113,9 +124,39 @@ func (op *Operator) adopt(cfg perfmodel.ExecConfig) error {
 		op.execOpts.TileRows = cfg.TileRows
 	}
 	if op.ctx != nil && !op.ctx.Serial() && cfg.Mode != halo.ModeNone && cfg.Mode != op.mode {
-		return op.Retarget(cfg.Mode)
+		if err := op.Retarget(cfg.Mode); err != nil {
+			return err
+		}
+	}
+	if op.ctx != nil && !op.ctx.Serial() {
+		k := cfg.TimeTile
+		if k < 1 {
+			k = 1
+		}
+		if k != op.TimeTile() {
+			return op.RetargetTimeTile(k)
+		}
 	}
 	return nil
+}
+
+// tileProfile derives the exchange-interval figures of the profile: the
+// per-timestep shell stride (max over dimensions) and the tile-start
+// stream count, from a k=2 probe plan (both are interval-independent).
+func (op *Operator) tileProfile() (stride, streams int) {
+	if op.ctx == nil || op.ctx.Serial() {
+		return 0, 0
+	}
+	p, _ := ir.PlanTimeTile(op.Schedule, 2, op.isTimeField, op.hasScratch)
+	if p == nil {
+		return 0, 0
+	}
+	for _, s := range p.Stride {
+		if s > stride {
+			stride = s
+		}
+	}
+	return stride, len(p.Halos)
 }
 
 // autotune self-configures the operator at the head of an Apply. The
@@ -149,31 +190,51 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 		*remaining--
 	}
 	measure := func(cfg perfmodel.ExecConfig) (float64, error) {
-		if *remaining < tuneStepsPerTrial {
+		// Every trial times a whole window and reports the per-step
+		// average, with the window covering at least one full tile for
+		// time-tiled candidates: tiled cost is lumpy (the deep exchange
+		// and the widest shell land on the first substep), so a per-step
+		// minimum would flatter tiling by timing only the cheap tail
+		// substeps — and mixing a minimum for some candidates with an
+		// average for others would bias the comparison the opposite way.
+		steps := tuneStepsPerTrial
+		if k := cfg.TimeTile; k > 1 {
+			// Round up to whole tiles: a window that cuts a tile short
+			// would charge the candidate for more tile-head exchanges per
+			// step than its steady state (e.g. 2 exchanges in 3 steps for
+			// k=2 instead of 1 in 2).
+			steps = (steps + k - 1) / k * k
+		}
+		if *remaining < steps {
 			return 0, perfmodel.ErrTuneBudget
 		}
 		if err := op.adopt(cfg); err != nil {
 			return 0, err
 		}
-		best := math.Inf(1)
-		for i := 0; i < tuneStepsPerTrial; i++ {
-			t0 := time.Now()
+		// Align the window to a tile head regardless of where the
+		// previous trial stopped.
+		op.tilePos = 0
+		t0 := time.Now()
+		for i := 0; i < steps; i++ {
 			step(*next)
-			el := time.Since(t0).Seconds()
 			*next += dir
 			*remaining--
-			if el < best {
-				best = el
-			}
 		}
+		avg := time.Since(t0).Seconds() / float64(steps)
 		if op.ctx != nil && !op.ctx.Serial() {
-			best = op.ctx.Comm.AllreduceScalar(best, mpi.OpMax)
+			avg = op.ctx.Comm.AllreduceScalar(avg, mpi.OpMax)
 		}
-		return best, nil
+		return avg, nil
 	}
-	cfg, _, err := perfmodel.Tune(host, prof, 0, measure)
+	cfg, trialLog, err := perfmodel.Tune(host, prof, 0, measure)
 	if err != nil {
 		return err
+	}
+	if os.Getenv("DEVIGO_TUNE_DEBUG") != "" && (op.ctx == nil || op.ctx.Comm.Rank() == 0) {
+		for _, tr := range trialLog {
+			fmt.Fprintf(os.Stderr, "devigo-tune: trial %s = %.6fs/step\n", tr.Config, tr.Seconds)
+		}
+		fmt.Fprintf(os.Stderr, "devigo-tune: chose %s\n", cfg)
 	}
 	if err := op.adopt(cfg); err != nil {
 		return err
@@ -195,6 +256,8 @@ type EffectiveConfig struct {
 	Workers int `json:"workers"`
 	// TileRows is the outer-dimension tile height.
 	TileRows int `json:"tile_rows"`
+	// TimeTile is the halo-exchange interval (1 = exchange every step).
+	TimeTile int `json:"time_tile"`
 	// Autotune is the policy that configured the operator ("off" when the
 	// configuration was forced or defaulted).
 	Autotune string `json:"autotune"`
@@ -215,6 +278,7 @@ func (op *Operator) Config() EffectiveConfig {
 		Mode:     op.mode.String(),
 		Workers:  w,
 		TileRows: op.execOpts.TileRows,
+		TimeTile: op.TimeTile(),
 		Autotune: pol,
 	}
 }

@@ -47,7 +47,14 @@ type Operator struct {
 	ctx        *Context
 	kernels    []execKernel
 	exchangers map[string]halo.Exchanger
-	execOpts   runtime.ExecOpts
+	// tileExchangers holds one exchanger per tile-start (field, timeOff)
+	// requirement. Distinct streams per requirement are essential under
+	// the overlapped pattern: the tile head posts every deep exchange
+	// asynchronously at once, and two in-flight exchanges of different
+	// time buffers of the same field must not cross-match tags or share
+	// receive buffers.
+	tileExchangers map[ir.HaloReq]halo.Exchanger
+	execOpts       runtime.ExecOpts
 	// mode is the operator's own halo pattern: seeded from the context at
 	// construction, switchable afterwards via Retarget (the context is
 	// shared between operators and is never mutated).
@@ -60,6 +67,30 @@ type Operator struct {
 	// later Apply calls reuse the choice instead of re-tuning.
 	tuned      bool
 	tunePolicy string
+	// plan is the active communication-avoiding time-tiling plan (nil =
+	// exchange every step); tilePos/tileLen track the position within the
+	// current tile during an Apply.
+	plan    *ir.TilePlan
+	tilePos int
+	tileLen int
+	// hasScratch records whether CIRE scratch clusters exist (they forbid
+	// time tiling).
+	hasScratch bool
+	// tileProvisioned marks that an exchange interval > 1 was explicitly
+	// requested (Options.TimeTile, DEVIGO_TIME_TILE or RetargetTimeTile):
+	// only then does the autotuner's k-axis open. Default operators keep
+	// the classic exchange-every-step candidate space.
+	tileProvisioned bool
+	// baseHalo snapshots every field's ghost width before any deep-halo
+	// growth — the exchange depth of the classic k=1 schedule.
+	baseHalo map[string][]int
+	// exHalo records each exchanged field's allocated ghost width at
+	// exchanger-build time, so Apply can detect a sibling operator growing
+	// shared storage and rebuild stale preallocated exchange regions.
+	exHalo map[string][]int
+	// shellLo/shellHi cap the ghost-shell extension per dimension per side
+	// (grid points available beyond the owned box).
+	shellLo, shellHi []int
 	// stepExt[i] is the box extension (points beyond DOMAIN per side) for
 	// step i: nonzero only for CIRE scratch clusters.
 	stepExt []int
@@ -114,6 +145,13 @@ type Options struct {
 	// EngineInterpreter. The DEVIGO_ENGINE environment variable applies
 	// when unset.
 	Engine string
+	// TimeTile is the requested halo-exchange interval k: ghost regions
+	// are exchanged k·radius deep once every k timesteps and the shrinking
+	// ghost shell is recomputed redundantly in between — bit-exact versus
+	// k=1. The compiler clamps to the largest legal interval (falling back
+	// to 1 for untileable schedules and serial contexts). 0 consults the
+	// DEVIGO_TIME_TILE environment variable, then defaults to 1.
+	TimeTile int
 }
 
 // NewOperator compiles equations against field storage. fields must hold
@@ -121,13 +159,19 @@ type Options struct {
 func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.Grid, ctx *Context, opts *Options) (*Operator, error) {
 	name := "Kernel"
 	requestedEngine := ""
+	requestedTile := 0
 	if opts != nil {
 		if opts.Name != "" {
 			name = opts.Name
 		}
 		requestedEngine = opts.Engine
+		requestedTile = opts.TimeTile
 	}
 	engine, err := resolveEngine(requestedEngine)
+	if err != nil {
+		return nil, err
+	}
+	tileReq, err := resolveTimeTile(requestedTile)
 	if err != nil {
 		return nil, err
 	}
@@ -196,19 +240,42 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 	if ctx != nil && !ctx.Serial() {
 		mode = ctx.Mode
 	}
-	tree := iet.LowerHalos(iet.Build(name, sched), mode)
 
 	op := &Operator{
 		Name:       name,
 		Grid:       g,
 		Fields:     fields,
 		Schedule:   sched,
-		Tree:       tree,
 		ctx:        ctx,
 		mode:       mode,
 		exchangers: map[string]halo.Exchanger{},
+		baseHalo:   map[string][]int{},
 	}
 	op.perf.Engine = engine
+	op.hasScratch = len(scratchExt) > 0
+	for n, f := range fields {
+		op.baseHalo[n] = append([]int(nil), f.Halo...)
+	}
+	op.shellLo = make([]int, nd)
+	op.shellHi = make([]int, nd)
+	if ctx != nil && !ctx.Serial() && ctx.Decomp != nil {
+		op.shellLo, op.shellHi = ctx.Decomp.ShellCaps(ctx.Comm.Rank())
+	}
+	// Communication-avoiding time tiling: adopt the largest legal exchange
+	// interval <= the requested one and deepen ghost storage to hold the
+	// exchanged region and the redundant shell writes. Untileable schedules
+	// (CIRE scratch, multi-writer fields) and serial contexts fall back to
+	// the classic one-exchange-per-step schedule.
+	op.tileProvisioned = tileReq > 1
+	op.plan = op.selectTilePlan(tileReq)
+	if op.plan != nil {
+		for fname, alloc := range op.plan.Alloc {
+			if f, ok := fields[fname]; ok {
+				f.GrowHalo(alloc)
+			}
+		}
+	}
+	op.Tree = op.lowerTree()
 	if opts != nil {
 		op.execOpts.Workers = opts.Workers
 		op.execOpts.TileRows = opts.TileRows
@@ -223,11 +290,11 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 	// temporaries become per-point registers; hoisted invariants are
 	// evaluated once per Apply), recording the extended compute box of
 	// scratch-producing steps.
-	nests := collectNests(tree)
+	nests := collectNests(op.Tree)
 	if len(nests) != len(sched.Steps) {
 		return nil, fmt.Errorf("core: internal: %d nests for %d steps", len(nests), len(sched.Steps))
 	}
-	for _, n := range tree.Body {
+	for _, n := range op.Tree.Body {
 		if sa, ok := n.(iet.ScalarAssign); ok {
 			op.invariants = append(op.invariants, symbolic.Assignment{Name: sa.Name, Value: sa.Value})
 		}
@@ -254,11 +321,13 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 }
 
 // buildExchangers instantiates one exchanger per exchanged field for the
-// operator's current mode (clearing any previous set — Retarget rebuilds
-// through here). Stream numbering follows schedule order so tags stay
-// stable across rebuilds.
+// operator's current mode and exchange depth (clearing any previous set —
+// Retarget and RetargetTimeTile rebuild through here). Stream numbering
+// follows schedule order so tags stay stable across rebuilds.
 func (op *Operator) buildExchangers() {
 	op.exchangers = map[string]halo.Exchanger{}
+	op.tileExchangers = map[ir.HaloReq]halo.Exchanger{}
+	op.exHalo = map[string][]int{}
 	if op.mode == halo.ModeNone || op.ctx == nil || op.ctx.Serial() {
 		return
 	}
@@ -272,13 +341,51 @@ func (op *Operator) buildExchangers() {
 			if !ok {
 				continue
 			}
-			op.exchangers[h.Field] = halo.New(op.mode, op.ctx.Cart, f, stream)
+			op.exchangers[h.Field] = halo.NewDepth(op.mode, op.ctx.Cart, f, stream, op.exchangeDepth(h.Field))
+			op.exHalo[h.Field] = append([]int(nil), f.Halo...)
 			stream++
 		}
 	}
 	addEx(op.Schedule.Preamble)
-	for _, st := range op.Schedule.Steps {
-		addEx(st.Halos)
+	if op.plan == nil {
+		for _, st := range op.Schedule.Steps {
+			addEx(st.Halos)
+		}
+		return
+	}
+	// Under a tile plan the per-step exchangers are never invoked (the
+	// tile-start set supersedes them), so only the preamble/hoisted
+	// parameter exchangers and the per-requirement tile exchangers are
+	// built — diag/full exchangers preallocate deep per-neighbour buffers,
+	// so dead ones would double that storage.
+	addEx(op.plan.Hoisted)
+	for _, h := range op.plan.Halos {
+		f, ok := op.Fields[h.Field]
+		if !ok {
+			continue
+		}
+		op.tileExchangers[h] = halo.NewDepth(op.mode, op.ctx.Cart, f, stream, op.exchangeDepth(h.Field))
+		op.exHalo[h.Field] = append([]int(nil), f.Halo...)
+		stream++
+	}
+}
+
+// ensureExchangers rebuilds the exchanger set when another operator
+// sharing this one's fields has grown their ghost storage since the
+// exchangers preallocated their regions (a gradient run interleaves
+// forward, adjoint and imaging operators over shared parameter fields).
+func (op *Operator) ensureExchangers() {
+	for name, rec := range op.exHalo {
+		f, ok := op.Fields[name]
+		if !ok {
+			continue
+		}
+		for d := range rec {
+			if f.Halo[d] != rec[d] {
+				op.buildExchangers()
+				return
+			}
+		}
 	}
 }
 
@@ -311,7 +418,7 @@ func (op *Operator) Retarget(mode halo.Mode) error {
 		return nil
 	}
 	op.mode = mode
-	op.Tree = iet.LowerHalos(iet.Build(op.Name, op.Schedule), mode)
+	op.Tree = op.lowerTree()
 	op.buildExchangers()
 	op.emitCode()
 	return nil
@@ -378,11 +485,25 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 		bound[i] = b
 	}
 
-	// Preamble: hoisted exchanges of time-invariant fields, once.
+	// Stale-geometry guard before any exchange: a sibling operator may
+	// have deepened shared fields' ghost storage since our exchangers
+	// preallocated their regions.
+	op.ensureExchangers()
+
+	// Preamble: hoisted exchanges of time-invariant fields, once — the
+	// schedule's own preamble plus the parameters the time-tiling shell
+	// recompute reads in the ghost region.
 	start := time.Now()
 	for _, h := range op.Schedule.Preamble {
 		if ex, ok := op.exchangers[h.Field]; ok {
 			ex.Exchange(0)
+		}
+	}
+	if op.plan != nil {
+		for _, h := range op.plan.Hoisted {
+			if ex, ok := op.exchangers[h.Field]; ok {
+				ex.Exchange(0)
+			}
 		}
 	}
 	op.perf.HaloSeconds += time.Since(start).Seconds()
@@ -393,34 +514,39 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 	}
 	localShape := anyField.LocalShape
 
+	remaining := a.TimeN - a.TimeM + 1
+	if remaining < 0 {
+		remaining = 0
+	}
+	op.tilePos = 0
 	step := func(t int) {
-		for si, st := range op.Schedule.Steps {
-			k := op.kernels[si]
-			if op.useOverlap(si) && op.stepExt[si] == 0 {
-				op.applyOverlap(si, st, t, bound[si], localShape)
-			} else {
-				hs := time.Now()
-				for _, h := range st.Halos {
-					if ex, ok := op.exchangers[h.Field]; ok {
-						ex.Exchange(t + h.TimeOff)
+		if op.plan != nil {
+			op.tiledStep(t, bound, localShape, remaining)
+		} else {
+			for si, st := range op.Schedule.Steps {
+				k := op.kernels[si]
+				if op.useOverlap(si) && op.stepExt[si] == 0 {
+					op.applyOverlap(si, st, t, bound[si], localShape)
+				} else {
+					hs := time.Now()
+					for _, h := range st.Halos {
+						if ex, ok := op.exchangers[h.Field]; ok {
+							ex.Exchange(t + h.TimeOff)
+						}
 					}
+					op.perf.HaloSeconds += time.Since(hs).Seconds()
+					cs := time.Now()
+					box := extendedBox(localShape, op.stepExt[si])
+					k.Run(t, box, bound[si], &op.execOpts)
+					op.perf.ComputeSeconds += time.Since(cs).Seconds()
+					op.perf.PointsUpdated += int64(box.Size())
 				}
-				op.perf.HaloSeconds += time.Since(hs).Seconds()
-				cs := time.Now()
-				box := extendedBox(localShape, op.stepExt[si])
-				k.Run(t, box, bound[si], &op.execOpts)
-				op.perf.ComputeSeconds += time.Since(cs).Seconds()
-				op.perf.PointsUpdated += int64(box.Size())
 			}
 		}
 		if a.PostStep != nil {
 			a.PostStep(t)
 		}
 		op.perf.Timesteps++
-	}
-	remaining := a.TimeN - a.TimeM + 1
-	if remaining < 0 {
-		remaining = 0
 	}
 	dir, next := 1, a.TimeM
 	if a.Reverse {
@@ -454,23 +580,29 @@ func (op *Operator) useOverlap(si int) bool {
 // compute with MPI_Test progress prods, wait, REMAINDER compute.
 func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, localShape []int) {
 	k := op.kernels[si]
-	radius := k.StencilRadius()
-	hs := time.Now()
-	for _, h := range st.Halos {
-		if ex, ok := op.exchangers[h.Field]; ok {
-			ex.Start(t + h.TimeOff)
-		}
-	}
-	op.perf.HaloSeconds += time.Since(hs).Seconds()
-
-	core, remainder := splitCoreRemainder(localShape, radius)
-	progress := func() {
+	each := func(fn func(ex halo.Exchanger, t int)) {
 		for _, h := range st.Halos {
 			if ex, ok := op.exchangers[h.Field]; ok {
-				ex.Progress()
+				fn(ex, t+h.TimeOff)
 			}
 		}
 	}
+	op.overlapSweep(k, t, fullBox(localShape), coreBox(localShape, k.StencilRadius()), syms,
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Start(tt) }) },
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Progress() }) },
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Finish(tt) }) })
+}
+
+// overlapSweep is the shared CORE/REMAINDER choreography of the full
+// pattern, used by both the classic per-step overlap and the tile-start
+// deep overlap: post the exchanges, compute the CORE box with progress
+// prods between tiles, complete the exchanges, then sweep the remainder
+// of the outer box.
+func (op *Operator) overlapSweep(k execKernel, t int, outer, core runtime.Box, syms []float64, start, progress, finish func()) {
+	hs := time.Now()
+	start()
+	op.perf.HaloSeconds += time.Since(hs).Seconds()
+
 	cs := time.Now()
 	opts := op.execOpts
 	opts.Progress = progress
@@ -479,15 +611,11 @@ func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, loca
 	op.perf.PointsUpdated += int64(core.Size())
 
 	ws := time.Now()
-	for _, h := range st.Halos {
-		if ex, ok := op.exchangers[h.Field]; ok {
-			ex.Finish(t + h.TimeOff)
-		}
-	}
+	finish()
 	op.perf.HaloSeconds += time.Since(ws).Seconds()
 
 	rs := time.Now()
-	for _, rb := range remainder {
+	for _, rb := range remainderBoxes(outer, core) {
 		k.Run(t, rb, syms, &op.execOpts)
 		op.perf.PointsUpdated += int64(rb.Size())
 	}
@@ -523,21 +651,25 @@ func (op *Operator) Engine() string { return op.perf.Engine }
 
 // collectNests returns the loop nests of the time-loop body in step order,
 // looking through overlap sections (whose Core and Remainder share one
-// nest).
+// nest) and time tiles (whose body repeats per substep).
 func collectNests(tree iet.Callable) []iet.LoopNest {
 	var out []iet.LoopNest
-	for _, n := range tree.Body {
-		tl, ok := n.(iet.TimeLoop)
-		if !ok {
-			continue
-		}
-		for _, c := range tl.Body {
+	pick := func(body []iet.Node) {
+		for _, c := range body {
 			switch v := c.(type) {
 			case iet.LoopNest:
 				out = append(out, v)
 			case iet.OverlapSection:
 				out = append(out, v.Core)
 			}
+		}
+	}
+	for _, n := range tree.Body {
+		switch v := n.(type) {
+		case iet.TimeLoop:
+			pick(v.Body)
+		case iet.TimeTile:
+			pick(v.Body)
 		}
 	}
 	return out
@@ -563,10 +695,10 @@ func extendedBox(shape []int, ext int) runtime.Box {
 	return b
 }
 
-// splitCoreRemainder splits the local domain into the CORE box (points
-// whose stencil never reads exchanged halo data) and the REMAINDER slabs —
-// the logical decomposition of the paper's full mode (Fig. 5c).
-func splitCoreRemainder(shape, radius []int) (runtime.Box, []runtime.Box) {
+// coreBox returns the CORE box of the full pattern: the points of the
+// owned box whose stencil never reads exchanged halo data (empty
+// dimensions clamp).
+func coreBox(shape, radius []int) runtime.Box {
 	nd := len(shape)
 	core := runtime.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
 	for d := 0; d < nd; d++ {
@@ -576,21 +708,13 @@ func splitCoreRemainder(shape, radius []int) (runtime.Box, []runtime.Box) {
 			core.Hi[d] = core.Lo[d]
 		}
 	}
-	var rem []runtime.Box
-	box := fullBox(shape)
-	for d := 0; d < nd; d++ {
-		low := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
-		low.Hi[d] = core.Lo[d]
-		if !low.Empty() {
-			rem = append(rem, low)
-		}
-		high := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
-		high.Lo[d] = core.Hi[d]
-		if !high.Empty() {
-			rem = append(rem, high)
-		}
-		box.Lo[d] = core.Lo[d]
-		box.Hi[d] = core.Hi[d]
-	}
-	return core, rem
+	return core
+}
+
+// splitCoreRemainder splits the local domain into the CORE box (points
+// whose stencil never reads exchanged halo data) and the REMAINDER slabs —
+// the logical decomposition of the paper's full mode (Fig. 5c).
+func splitCoreRemainder(shape, radius []int) (runtime.Box, []runtime.Box) {
+	core := coreBox(shape, radius)
+	return core, remainderBoxes(fullBox(shape), core)
 }

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"devigo/internal/halo"
+	"devigo/internal/iet"
+	"devigo/internal/ir"
+	"devigo/internal/runtime"
+)
+
+// This file wires communication-avoiding time tiling (exchange interval
+// k) through the operator: instead of one latency-bound halo exchange per
+// timestep per field, a k-times-deeper ghost region is exchanged once per
+// k steps and the shrinking ghost shell is recomputed redundantly in
+// between (ir.PlanTimeTile derives the shell geometry and proves
+// legality). The owned box of every rank holds bit-identical values to a
+// k=1 run after every substep, so tiling composes with every halo mode,
+// both engines, the adjoint/reverse schedules and the differential/dot-
+// product certification harnesses unchanged.
+
+// TimeTileEnvVar overrides the exchange interval when Options.TimeTile is
+// unset: DEVIGO_TIME_TILE=k runs existing programs with deep-halo time
+// tiling with zero code changes.
+const TimeTileEnvVar = "DEVIGO_TIME_TILE"
+
+// MaxTileCandidate caps the exchange interval the autotuner explores (and
+// the default devigo-bench sweep).
+const MaxTileCandidate = 8
+
+// resolveTimeTile picks the requested exchange interval: explicit
+// Options.TimeTile wins, then the DEVIGO_TIME_TILE environment variable,
+// then 1 (no tiling).
+func resolveTimeTile(requested int) (int, error) {
+	if requested > 0 {
+		return requested, nil
+	}
+	if requested < 0 {
+		return 0, fmt.Errorf("core: TimeTile must be >= 1, got %d", requested)
+	}
+	env := strings.TrimSpace(os.Getenv(TimeTileEnvVar))
+	if env == "" {
+		return 1, nil
+	}
+	k, err := strconv.Atoi(env)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("core: bad %s=%q (want an integer >= 1)", TimeTileEnvVar, env)
+	}
+	return k, nil
+}
+
+// isTimeField reports whether a field of the operator varies over time
+// (has more than one buffer).
+func (op *Operator) isTimeField(name string) bool {
+	f, ok := op.Fields[name]
+	return ok && len(f.Bufs) > 1
+}
+
+// tileFits reports whether a plan's exchange depths can be filled by a
+// one-hop nearest-neighbour exchange: along every decomposed dimension the
+// depth must not exceed the smallest owned chunk.
+func tileFits(p *ir.TilePlan, minChunk, topology []int) bool {
+	for _, depth := range p.Depth {
+		for d := range minChunk {
+			if topology[d] > 1 && depth[d] > minChunk[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allocFits reports whether a plan's required ghost allocation fits the
+// operator's fields as currently allocated (the autotuner never grows
+// storage mid-run; only construction and explicit RetargetTimeTile do).
+func (op *Operator) allocFits(p *ir.TilePlan) bool {
+	for name, alloc := range p.Alloc {
+		f, ok := op.Fields[name]
+		if !ok {
+			continue
+		}
+		for d := range alloc {
+			if alloc[d] > f.Halo[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selectTilePlan picks the largest feasible exchange interval <= k for a
+// distributed schedule, or nil when no interval >= 2 is legal (structural
+// refusal — CIRE scratch, multi-writer fields — or depths exceeding the
+// decomposition's chunks).
+func (op *Operator) selectTilePlan(k int) *ir.TilePlan {
+	if op.ctx == nil || op.ctx.Serial() || k < 2 {
+		return nil
+	}
+	minChunk := op.ctx.Decomp.MinChunk()
+	for kk := k; kk >= 2; kk-- {
+		p, _ := ir.PlanTimeTile(op.Schedule, kk, op.isTimeField, op.hasScratch)
+		if p == nil {
+			return nil
+		}
+		if tileFits(p, minChunk, op.ctx.Decomp.Topology) {
+			return p
+		}
+	}
+	return nil
+}
+
+// maxFeasibleTile returns the largest exchange interval (capped at
+// MaxTileCandidate) whose plan fits both the decomposition chunks and the
+// *current* ghost allocation — the k-axis bound the autotuner plans over.
+// The axis only opens once an interval > 1 was explicitly provisioned
+// (construction or RetargetTimeTile): default operators keep the classic
+// candidate space and never pay deep-halo storage.
+func (op *Operator) maxFeasibleTile() int {
+	if op.ctx == nil || op.ctx.Serial() || !op.tileProvisioned {
+		return 1
+	}
+	minChunk := op.ctx.Decomp.MinChunk()
+	for k := MaxTileCandidate; k >= 2; k-- {
+		p, _ := ir.PlanTimeTile(op.Schedule, k, op.isTimeField, op.hasScratch)
+		if p == nil {
+			return 1
+		}
+		if !tileFits(p, minChunk, op.ctx.Decomp.Topology) {
+			continue
+		}
+		if !op.allocFits(p) {
+			continue
+		}
+		return k
+	}
+	return 1
+}
+
+// TimeTile reports the operator's current exchange interval (1 = exchange
+// every step, the classic schedule).
+func (op *Operator) TimeTile() int {
+	if op.plan == nil {
+		return 1
+	}
+	return op.plan.K
+}
+
+// TilePlan exposes the active time-tiling plan (nil when the operator
+// runs the classic one-exchange-per-step schedule).
+func (op *Operator) TilePlan() *ir.TilePlan { return op.plan }
+
+// InjectDepth returns the per-dimension ghost depth into which point
+// sources must mirror their injections for results to stay bit-exact
+// under time tiling (a rank redundantly recomputing its ghost shell must
+// observe the same injected values its neighbour applied to the owned
+// copy). nil when no tiling is active — plain owned-only injection then
+// matches the k=1 schedule exactly.
+func (op *Operator) InjectDepth() []int {
+	if op.plan == nil {
+		return nil
+	}
+	depth := make([]int, op.Grid.NDims())
+	for _, f := range op.Fields {
+		for d := range depth {
+			if d < len(f.Halo) && f.Halo[d] > depth[d] {
+				depth[d] = f.Halo[d]
+			}
+		}
+	}
+	return depth
+}
+
+// RetargetTimeTile re-lowers the operator onto a different exchange
+// interval: the largest feasible interval <= k is planned (falling back
+// to 1 when the schedule cannot tile or the context is serial), ghost
+// storage is grown as needed — compiled kernels survive because they
+// resolve strides at execution time — the exchanger set is rebuilt at the
+// new depths, and the IET/source are refreshed. Like Retarget, switching
+// k never changes results: the redundant shell recompute evaluates
+// identical expressions on identical data.
+func (op *Operator) RetargetTimeTile(k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: %s: exchange interval must be >= 1, got %d", op.Name, k)
+	}
+	if k > 1 {
+		op.tileProvisioned = true
+	}
+	cur := op.TimeTile()
+	plan := op.selectTilePlan(k)
+	newK := 1
+	if plan != nil {
+		newK = plan.K
+	}
+	if newK == cur {
+		return nil
+	}
+	op.plan = plan
+	op.tilePos = 0
+	if plan != nil {
+		for name, alloc := range plan.Alloc {
+			if f, ok := op.Fields[name]; ok {
+				f.GrowHalo(alloc)
+			}
+		}
+	}
+	op.buildExchangers()
+	if plan != nil && op.ctx != nil && !op.ctx.Serial() {
+		// A switch can happen mid-run (the search autotuner retargets
+		// between timesteps), after Apply's preamble already ran — refresh
+		// the time-invariant ghosts at the new depths right away. The
+		// exchanges are collective, and every rank adopts configurations in
+		// lockstep, so this cannot deadlock or skew.
+		hs := time.Now()
+		for _, h := range op.Schedule.Preamble {
+			if ex, ok := op.exchangers[h.Field]; ok {
+				ex.Exchange(0)
+			}
+		}
+		for _, h := range plan.Hoisted {
+			if ex, ok := op.exchangers[h.Field]; ok {
+				ex.Exchange(0)
+			}
+		}
+		op.perf.HaloSeconds += time.Since(hs).Seconds()
+	}
+	op.Tree = op.lowerTree()
+	op.emitCode()
+	return nil
+}
+
+// exchangeDepth returns the ghost width the operator exchanges for a
+// field: the plan's computed depth under time tiling, the field's
+// pre-growth base width otherwise (for a never-grown operator that is the
+// full allocated halo — the classic behaviour).
+func (op *Operator) exchangeDepth(name string) []int {
+	if op.plan != nil {
+		return op.plan.Depth[name]
+	}
+	return op.baseHalo[name]
+}
+
+// lowerTree lowers the schedule IET for the operator's current halo mode
+// and exchange interval.
+func (op *Operator) lowerTree() iet.Callable {
+	built := iet.Build(op.Name, op.Schedule)
+	if op.plan != nil {
+		return iet.LowerTimeTile(built, op.mode, op.plan.K, op.plan.Halos)
+	}
+	return iet.LowerHalos(built, op.mode)
+}
+
+// shellBox returns the compute box of schedule step si at tile substep j:
+// the owned box extended by the shrinking ghost shell, clipped where the
+// shell would fall off the global domain.
+func (op *Operator) shellBox(localShape []int, j, si int) runtime.Box {
+	p := op.plan
+	nd := len(localShape)
+	b := runtime.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		ext := (op.tileLen-1-j)*p.Stride[d] + p.Tails[si][d]
+		lo, hi := ext, ext
+		if lo > op.shellLo[d] {
+			lo = op.shellLo[d]
+		}
+		if hi > op.shellHi[d] {
+			hi = op.shellHi[d]
+		}
+		b.Lo[d] = -lo
+		b.Hi[d] = localShape[d] + hi
+	}
+	return b
+}
+
+// tiledStep executes one timestep of the time-tiled schedule: at the head
+// of a tile every pre-tile buffer is exchanged at the deep ghost width
+// (asynchronously overlapped with the first cluster's CORE compute under
+// the full pattern), then every cluster sweeps its owned-plus-shell box.
+// remaining is the number of steps left in this Apply including the
+// current one — a tile never outlives its Apply, so short windows (the
+// adjoint driver applies one step at a time) degenerate gracefully to the
+// k=1 schedule instead of paying shell recompute they cannot amortize.
+func (op *Operator) tiledStep(t int, bound [][]float64, localShape []int, remaining int) {
+	p := op.plan
+	if op.tilePos == 0 {
+		op.tileLen = p.K
+		if remaining < op.tileLen {
+			op.tileLen = remaining
+		}
+		if op.tileLen < 1 {
+			op.tileLen = 1
+		}
+	}
+	j := op.tilePos
+	overlap := op.mode == halo.ModeFull && j == 0
+	if j == 0 && !overlap {
+		hs := time.Now()
+		for _, h := range p.Halos {
+			if ex, ok := op.tileExchangers[h]; ok {
+				ex.Exchange(t + h.TimeOff)
+			}
+		}
+		op.perf.HaloSeconds += time.Since(hs).Seconds()
+	}
+	for si := range op.Schedule.Steps {
+		k := op.kernels[si]
+		box := op.shellBox(localShape, j, si)
+		if overlap && si == 0 {
+			op.applyTileOverlap(t, si, box, bound[si], localShape)
+			continue
+		}
+		cs := time.Now()
+		k.Run(t, box, bound[si], &op.execOpts)
+		op.perf.ComputeSeconds += time.Since(cs).Seconds()
+		op.perf.PointsUpdated += int64(box.Size())
+	}
+	op.tilePos++
+	if op.tilePos >= op.tileLen {
+		op.tilePos = 0
+	}
+}
+
+// applyTileOverlap runs the first cluster of a tile's first substep under
+// the full pattern: the deep exchange is posted asynchronously, the CORE
+// box (owned shrunk by the cluster radius, so no read touches in-flight
+// halo data) computes with MPI_Test progress prods, then the exchange
+// completes and the remainder of the owned-plus-shell box — the boundary
+// ring plus the redundant shell — is swept.
+func (op *Operator) applyTileOverlap(t, si int, outer runtime.Box, syms []float64, localShape []int) {
+	k := op.kernels[si]
+	each := func(fn func(ex halo.Exchanger, tt int)) {
+		for _, h := range op.plan.Halos {
+			if ex, ok := op.tileExchangers[h]; ok {
+				fn(ex, t+h.TimeOff)
+			}
+		}
+	}
+	op.overlapSweep(k, t, outer, coreBox(localShape, k.StencilRadius()), syms,
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Start(tt) }) },
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Progress() }) },
+		func() { each(func(ex halo.Exchanger, tt int) { ex.Finish(tt) }) })
+}
+
+// remainderBoxes peels outer minus inner into disjoint slabs (inner must
+// be contained in outer; an empty inner yields outer itself).
+func remainderBoxes(outer, inner runtime.Box) []runtime.Box {
+	var rem []runtime.Box
+	box := runtime.Box{Lo: append([]int(nil), outer.Lo...), Hi: append([]int(nil), outer.Hi...)}
+	for d := range box.Lo {
+		low := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
+		low.Hi[d] = inner.Lo[d]
+		if !low.Empty() {
+			rem = append(rem, low)
+		}
+		high := runtime.Box{Lo: append([]int(nil), box.Lo...), Hi: append([]int(nil), box.Hi...)}
+		high.Lo[d] = inner.Hi[d]
+		if !high.Empty() {
+			rem = append(rem, high)
+		}
+		box.Lo[d] = inner.Lo[d]
+		box.Hi[d] = inner.Hi[d]
+	}
+	return rem
+}
+
+// CommStats is the modelled steady-state per-timestep communication
+// volume of an operator's current configuration, with deep-halo exchanges
+// amortized over the exchange interval. The numbers come from
+// halo.Traffic / halo.AmortizedTraffic — the same accounting the
+// performance models use — so benchmark gates compare like with like.
+type CommStats struct {
+	// TimeTile is the exchange interval the stats are amortized over.
+	TimeTile int `json:"time_tile"`
+	// MsgsPerStep is the average point-to-point message count per step.
+	MsgsPerStep float64 `json:"msgs_per_step"`
+	// BytesPerStep is the average exchanged byte volume per step.
+	BytesPerStep float64 `json:"bytes_per_step"`
+}
+
+// CommStats reports the operator's modelled per-timestep communication
+// (zero when serial). Preamble exchanges happen once per run and are
+// excluded from the steady state.
+func (op *Operator) CommStats() CommStats {
+	out := CommStats{TimeTile: op.TimeTile()}
+	if op.ctx == nil || op.ctx.Serial() || op.mode == halo.ModeNone {
+		return out
+	}
+	f := op.anyField()
+	if f == nil {
+		return out
+	}
+	local := f.LocalShape
+	if op.plan != nil {
+		for _, h := range op.plan.Halos {
+			m, b := halo.AmortizedTraffic(op.mode, local, maxOf(op.plan.Depth[h.Field]), op.plan.K, 1)
+			out.MsgsPerStep += m
+			out.BytesPerStep += b
+		}
+		return out
+	}
+	for _, st := range op.Schedule.Steps {
+		for _, h := range st.Halos {
+			width := 0
+			if ff, ok := op.Fields[h.Field]; ok {
+				width = maxOf(op.exchangeDepthOr(h.Field, ff.Halo))
+			}
+			m, b := halo.Traffic(op.mode, local, width)
+			out.MsgsPerStep += float64(m)
+			out.BytesPerStep += b
+		}
+	}
+	return out
+}
+
+// exchangeDepthOr returns the exchange depth for a field, falling back to
+// the given default when none is recorded.
+func (op *Operator) exchangeDepthOr(name string, def []int) []int {
+	if d := op.exchangeDepth(name); d != nil {
+		return d
+	}
+	return def
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		m = max(m, x)
+	}
+	return m
+}

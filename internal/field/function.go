@@ -46,7 +46,10 @@ type Config struct {
 	Rank int
 	// Stagger requests half-node storage per dimension.
 	Stagger []int
-	// HaloWidth overrides the default SpaceOrder/2 ghost width.
+	// HaloWidth overrides the default ghost width (SpaceOrder per side,
+	// the Devito convention). Values smaller than the minimum stencil
+	// radius SpaceOrder/2 would under-allocate the ghost zone every
+	// derivative of that order reads, so they are rejected with an error.
 	HaloWidth int
 }
 
@@ -90,6 +93,10 @@ func (f *Function) initGeometry(cfg *Config) error {
 	// Laplacian radius.
 	hw := f.SpaceOrder
 	if cfg != nil && cfg.HaloWidth > 0 {
+		if minR := f.SpaceOrder / 2; cfg.HaloWidth < minR {
+			return fmt.Errorf("field: %s: HaloWidth %d is below the stencil radius %d of space order %d; ghost zones would be under-allocated",
+				f.Name, cfg.HaloWidth, minR, f.SpaceOrder)
+		}
 		hw = cfg.HaloWidth
 	}
 	f.Halo = make([]int, nd)
@@ -122,6 +129,45 @@ func (f *Function) initGeometry(cfg *Config) error {
 		f.Origin = make([]int, nd)
 	}
 	return nil
+}
+
+// GrowHalo widens the allocated ghost region to at least halo[d] points
+// per side, reallocating every time buffer with the new strides and
+// copying the old allocation (owned data and existing ghost content) into
+// place; newly gained ghost cells are zero, like a fresh allocation.
+// Dimensions already wide enough are untouched and shrinking is not
+// supported, so repeated calls are monotone. Compiled kernels survive a
+// grow because they resolve strides and halo offsets at execution time —
+// this is what lets an operator deepen ghost storage for a larger exchange
+// interval without recompiling.
+func (f *Function) GrowHalo(halo []int) {
+	nd := f.NDims()
+	newHalo := append([]int(nil), f.Halo...)
+	grew := false
+	for d := 0; d < nd && d < len(halo); d++ {
+		if halo[d] > newHalo[d] {
+			newHalo[d] = halo[d]
+			grew = true
+		}
+	}
+	if !grew {
+		return
+	}
+	old := f.FullRegion()
+	shifted := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
+	for d := 0; d < nd; d++ {
+		off := newHalo[d] - f.Halo[d]
+		shifted.Lo[d] = old.Lo[d] + off
+		shifted.Hi[d] = old.Hi[d] + off
+	}
+	tmp := make([]float32, old.Size())
+	f.Halo = newHalo
+	for bi, b := range f.Bufs {
+		b.Pack(old, tmp)
+		nb := NewBuffer(f.FullShape())
+		nb.Unpack(shifted, tmp)
+		f.Bufs[bi] = nb
+	}
 }
 
 // FullShape is the allocated shape: DOMAIN plus halo on both sides.
@@ -215,22 +261,36 @@ func (f *Function) OwnedRegions() []Region {
 // domain extent; includeHalo widens zero-offset dimensions to the full
 // allocated extent (used by the basic mode's dimension-sweep exchange).
 func (f *Function) SendRegion(offset []int, includeHalo []bool) Region {
+	return f.SendRegionDepth(offset, includeHalo, nil)
+}
+
+// SendRegionDepth is SendRegion with an explicit exchange depth per
+// dimension: the slab shipped is depth[d] points wide instead of the full
+// allocated ghost width, and includeHalo dimensions span the owned extent
+// plus depth[d] ghost points per side (the part of the halo a depth-wide
+// sweep has already filled). nil depth means the full allocated width —
+// the plain SendRegion behaviour.
+func (f *Function) SendRegionDepth(offset []int, includeHalo []bool, depth []int) Region {
 	nd := f.NDims()
 	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
 	for d := 0; d < nd; d++ {
 		h := f.Halo[d]
 		n := f.LocalShape[d]
+		g := h
+		if depth != nil {
+			g = depth[d]
+		}
 		switch offset[d] {
 		case 0:
 			if includeHalo != nil && includeHalo[d] {
-				r.Lo[d], r.Hi[d] = 0, n+2*h
+				r.Lo[d], r.Hi[d] = h-g, h+n+g
 			} else {
 				r.Lo[d], r.Hi[d] = h, h+n
 			}
 		case 1:
-			r.Lo[d], r.Hi[d] = h+n-h, h+n
+			r.Lo[d], r.Hi[d] = h+n-g, h+n
 		case -1:
-			r.Lo[d], r.Hi[d] = h, h+h
+			r.Lo[d], r.Hi[d] = h, h+g
 		default:
 			panic("field: offset entries must be -1, 0 or 1")
 		}
@@ -241,22 +301,33 @@ func (f *Function) SendRegion(offset []int, includeHalo []bool) Region {
 // RecvRegion returns the HALO slab populated by the neighbour at the given
 // offset.
 func (f *Function) RecvRegion(offset []int, includeHalo []bool) Region {
+	return f.RecvRegionDepth(offset, includeHalo, nil)
+}
+
+// RecvRegionDepth is RecvRegion with an explicit exchange depth per
+// dimension; the received slab is the depth[d]-wide ghost band adjacent to
+// the owned box. nil depth means the full allocated width.
+func (f *Function) RecvRegionDepth(offset []int, includeHalo []bool, depth []int) Region {
 	nd := f.NDims()
 	r := Region{Lo: make([]int, nd), Hi: make([]int, nd)}
 	for d := 0; d < nd; d++ {
 		h := f.Halo[d]
 		n := f.LocalShape[d]
+		g := h
+		if depth != nil {
+			g = depth[d]
+		}
 		switch offset[d] {
 		case 0:
 			if includeHalo != nil && includeHalo[d] {
-				r.Lo[d], r.Hi[d] = 0, n+2*h
+				r.Lo[d], r.Hi[d] = h-g, h+n+g
 			} else {
 				r.Lo[d], r.Hi[d] = h, h+n
 			}
 		case 1:
-			r.Lo[d], r.Hi[d] = h+n, h+n+h
+			r.Lo[d], r.Hi[d] = h+n, h+n+g
 		case -1:
-			r.Lo[d], r.Hi[d] = 0, h
+			r.Lo[d], r.Hi[d] = h-g, h
 		default:
 			panic("field: offset entries must be -1, 0 or 1")
 		}

@@ -170,6 +170,68 @@ func (d *Decomposition) MaxLocalShape() []int {
 	return out
 }
 
+// ShellCaps returns, per dimension, how many grid points exist beyond the
+// rank's owned box on the low and high side — the geometric bound on how
+// deep a redundant-recompute ghost shell can grow before falling off the
+// global domain. A rank at a domain face gets 0 on that side; interior
+// ranks get the full remaining extent.
+func (d *Decomposition) ShellCaps(rank int) (lo, hi []int) {
+	coords := d.Coords(rank)
+	nd := len(coords)
+	lo = make([]int, nd)
+	hi = make([]int, nd)
+	for dim, c := range coords {
+		l, h := d.LocalRange(dim, c)
+		lo[dim] = l
+		hi[dim] = d.Grid.Shape[dim] - h
+	}
+	return lo, hi
+}
+
+// TileBox returns the owned-plus-shell box of a rank in global index
+// coordinates (half-open) when the ghost shell extends ext[d] points per
+// side, clipped at the domain boundary — the shrinking per-substep compute
+// box of communication-avoiding time tiling. ext entries must be
+// non-negative.
+func (d *Decomposition) TileBox(rank int, ext []int) (lo, hi []int) {
+	capLo, capHi := d.ShellCaps(rank)
+	coords := d.Coords(rank)
+	nd := len(coords)
+	lo = make([]int, nd)
+	hi = make([]int, nd)
+	for dim, c := range coords {
+		l, h := d.LocalRange(dim, c)
+		e := ext[dim]
+		el, eh := e, e
+		if el > capLo[dim] {
+			el = capLo[dim]
+		}
+		if eh > capHi[dim] {
+			eh = capHi[dim]
+		}
+		lo[dim] = l - el
+		hi[dim] = h + eh
+	}
+	return lo, hi
+}
+
+// MinChunk returns the smallest owned extent per dimension over all
+// topology coordinates — the limit on how wide a ghost region a one-hop
+// nearest-neighbour exchange can fill.
+func (d *Decomposition) MinChunk() []int {
+	nd := len(d.Topology)
+	out := make([]int, nd)
+	for dim := 0; dim < nd; dim++ {
+		for c := 0; c < d.Topology[dim]; c++ {
+			lo, hi := d.LocalRange(dim, c)
+			if c == 0 || hi-lo < out[dim] {
+				out[dim] = hi - lo
+			}
+		}
+	}
+	return out
+}
+
 // LocalOrigin returns the global index of the first owned point per
 // dimension for a rank.
 func (d *Decomposition) LocalOrigin(rank int) []int {

@@ -17,10 +17,13 @@ type basicExchanger struct {
 	cart   *mpi.CartComm
 	f      *field.Function
 	stream int
+	// depth is the exchanged ghost width per dimension (nil = the field's
+	// full allocated halo); deep-halo time tiling passes k·radius here.
+	depth []int
 }
 
-func newBasic(cart *mpi.CartComm, f *field.Function, stream int) *basicExchanger {
-	return &basicExchanger{cart: cart, f: f, stream: stream}
+func newBasic(cart *mpi.CartComm, f *field.Function, stream int, depth []int) *basicExchanger {
+	return &basicExchanger{cart: cart, f: f, stream: stream, depth: depth}
 }
 
 func (b *basicExchanger) Mode() Mode { return ModeBasic }
@@ -51,12 +54,12 @@ func (b *basicExchanger) Exchange(t int) {
 			// Post the receive first. The message from Neighbor(offset)
 			// travels in direction -offset, and tags encode the sender's
 			// direction of travel.
-			rr := b.f.RecvRegion(offset, includeHalo)
+			rr := b.f.RecvRegionDepth(offset, includeHalo, b.depth)
 			rbuf := make([]float32, rr.Size())
 			req := b.cart.Irecv(nb, mpi.OffsetTag(b.stream, negate(offset)), rbuf)
 			recvs = append(recvs, pending{req: req, region: rr, data: rbuf})
 
-			sr := b.f.SendRegion(offset, includeHalo)
+			sr := b.f.SendRegionDepth(offset, includeHalo, b.depth)
 			sbuf := make([]float32, sr.Size())
 			buf.Pack(sr, sbuf)
 			b.cart.Send(nb, mpi.OffsetTag(b.stream, offset), sbuf)

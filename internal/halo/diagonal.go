@@ -22,7 +22,7 @@ type diagonalExchanger struct {
 	recvBuf [][]float32
 }
 
-func newDiagonal(cart *mpi.CartComm, f *field.Function, stream int) *diagonalExchanger {
+func newDiagonal(cart *mpi.CartComm, f *field.Function, stream int, depth []int) *diagonalExchanger {
 	d := &diagonalExchanger{cart: cart, f: f, stream: stream}
 	d.offsets = mpi.NeighborOffsets(f.NDims())
 	d.nbrs = make([]int, len(d.offsets))
@@ -35,8 +35,8 @@ func newDiagonal(cart *mpi.CartComm, f *field.Function, stream int) *diagonalExc
 		if d.nbrs[i] == mpi.ProcNull {
 			continue
 		}
-		d.sendReg[i] = f.SendRegion(o, nil)
-		d.recvReg[i] = f.RecvRegion(o, nil)
+		d.sendReg[i] = f.SendRegionDepth(o, nil, depth)
+		d.recvReg[i] = f.RecvRegionDepth(o, nil, depth)
 		d.sendBuf[i] = make([]float32, d.sendReg[i].Size())
 		d.recvBuf[i] = make([]float32, d.recvReg[i].Size())
 	}

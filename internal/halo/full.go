@@ -18,8 +18,8 @@ type fullExchanger struct {
 	started bool
 }
 
-func newFull(cart *mpi.CartComm, f *field.Function, stream int) *fullExchanger {
-	return &fullExchanger{diagonalExchanger: newDiagonal(cart, f, stream)}
+func newFull(cart *mpi.CartComm, f *field.Function, stream int, depth []int) *fullExchanger {
+	return &fullExchanger{diagonalExchanger: newDiagonal(cart, f, stream, depth)}
 }
 
 func (e *fullExchanger) Mode() Mode { return ModeFull }

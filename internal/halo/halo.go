@@ -14,6 +14,7 @@ package halo
 
 import (
 	"fmt"
+	"strings"
 
 	"devigo/internal/field"
 	"devigo/internal/mpi"
@@ -49,7 +50,16 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// ParseMode converts the DEVITO_MPI-style names used by the CLI.
+// ModeNames lists every accepted ParseMode spelling, canonical names
+// first — the vocabulary quoted by ParseMode errors and CLI usage text.
+func ModeNames() []string {
+	return []string{"none", "basic", "diag", "full", "diagonal", "diag2", "overlap", "overlapped", "0", "1"}
+}
+
+// ParseMode converts the DEVITO_MPI-style names used by the CLI,
+// accepting the Devito aliases ("diag", "diagonal", "diag2" for the
+// diagonal pattern; "overlap"/"overlapped" for full). Unknown names fail
+// with an error listing the valid spellings.
 func ParseMode(s string) (Mode, error) {
 	switch s {
 	case "none", "0":
@@ -58,10 +68,10 @@ func ParseMode(s string) (Mode, error) {
 		return ModeBasic, nil
 	case "diag", "diagonal", "diag2":
 		return ModeDiagonal, nil
-	case "full", "overlap":
+	case "full", "overlap", "overlapped":
 		return ModeFull, nil
 	}
-	return ModeNone, fmt.Errorf("halo: unknown MPI mode %q", s)
+	return ModeNone, fmt.Errorf("halo: unknown MPI mode %q (valid: %s)", s, strings.Join(ModeNames(), ", "))
 }
 
 // Exchanger fills a field's halo region from its neighbours. Exchange is
@@ -82,18 +92,32 @@ type Exchanger interface {
 	Mode() Mode
 }
 
-// New constructs the exchanger for the given mode. stream must be unique
-// per (field, operator) so concurrent exchanges cannot cross-match.
+// New constructs the exchanger for the given mode, exchanging the field's
+// full allocated ghost width. stream must be unique per (field, operator)
+// so concurrent exchanges cannot cross-match.
 func New(mode Mode, cart *mpi.CartComm, f *field.Function, stream int) Exchanger {
+	return NewDepth(mode, cart, f, stream, nil)
+}
+
+// NewDepth constructs an exchanger shipping a ghost band depth[d] points
+// wide per side instead of the full allocated width — the deep-halo
+// exchanger of communication-avoiding time tiling (and, symmetrically, a
+// thinner-than-allocation exchange when only part of a deep halo needs
+// refreshing). nil depth means the full allocated width. depth must not
+// exceed the field's allocated halo, and a one-hop exchange additionally
+// requires depth not to exceed the smallest neighbouring chunk — both are
+// the caller's (the compiler's) responsibility when it picks the exchange
+// interval.
+func NewDepth(mode Mode, cart *mpi.CartComm, f *field.Function, stream int, depth []int) Exchanger {
 	switch mode {
 	case ModeNone:
 		return nullExchanger{}
 	case ModeBasic:
-		return newBasic(cart, f, stream)
+		return newBasic(cart, f, stream, depth)
 	case ModeDiagonal:
-		return newDiagonal(cart, f, stream)
+		return newDiagonal(cart, f, stream, depth)
 	case ModeFull:
-		return newFull(cart, f, stream)
+		return newFull(cart, f, stream, depth)
 	}
 	panic("halo: invalid mode")
 }

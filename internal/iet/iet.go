@@ -72,6 +72,24 @@ type OverlapSection struct {
 	Remainder LoopNest
 }
 
+// TimeTile is the communication-avoiding time-tiled stepping structure: a
+// deep-halo exchange of every pre-tile buffer, then K timestep bodies
+// whose ghost shells shrink by the schedule's stride per substep. It
+// replaces TimeLoop when the exchange interval exceeds 1: per-step
+// HaloSpots disappear because every in-tile read is supplied either by the
+// tile-start exchange or by the previous substep's shell.
+type TimeTile struct {
+	// K is the exchange interval (timesteps per deep exchange).
+	K int
+	// Update is the tile-start exchange of every pre-tile (field, time
+	// offset) buffer at the deep ghost width. Async under the full pattern
+	// (overlapped with the first substep's CORE compute).
+	Update HaloUpdateCall
+	// Body holds the K-fold-executed timestep body (one entry per cluster
+	// loop nest, HaloSpots removed).
+	Body []Node
+}
+
 func (Callable) isNode()       {}
 func (ScalarAssign) isNode()   {}
 func (TimeLoop) isNode()       {}
@@ -80,6 +98,7 @@ func (HaloSpot) isNode()       {}
 func (HaloUpdateCall) isNode() {}
 func (HaloWaitCall) isNode()   {}
 func (OverlapSection) isNode() {}
+func (TimeTile) isNode()       {}
 
 var dimNames = []string{"x", "y", "z"}
 
@@ -199,6 +218,37 @@ func lowerList(nodes []Node, mode halo.Mode) []Node {
 	return out
 }
 
+// LowerTimeTile rewrites the time loop of a built (un-lowered) callable
+// into the exchange-interval-k form: the TimeLoop becomes a TimeTile whose
+// Update exchanges the tileReqs buffers deep once per k steps, and the
+// per-step HaloSpots inside the loop are dropped (their reads are supplied
+// by the tile-start exchange and the shrinking shells). HaloSpots outside
+// the loop (the hoisted preamble) are lowered synchronously as usual.
+func LowerTimeTile(c Callable, mode halo.Mode, k int, tileReqs []ir.HaloReq) Callable {
+	var out []Node
+	for _, n := range c.Body {
+		tl, ok := n.(TimeLoop)
+		if !ok {
+			out = append(out, lowerList([]Node{n}, mode)...)
+			continue
+		}
+		var body []Node
+		for _, b := range tl.Body {
+			if _, isSpot := b.(HaloSpot); isSpot {
+				continue
+			}
+			body = append(body, b)
+		}
+		out = append(out, TimeTile{
+			K:      k,
+			Update: HaloUpdateCall{Fields: tileReqs, Mode: mode, Async: mode == halo.ModeFull},
+			Body:   body,
+		})
+	}
+	c.Body = out
+	return c
+}
+
 // Walk visits every node depth-first.
 func Walk(n Node, fn func(Node)) {
 	fn(n)
@@ -208,6 +258,11 @@ func Walk(n Node, fn func(Node)) {
 			Walk(c, fn)
 		}
 	case TimeLoop:
+		for _, c := range v.Body {
+			Walk(c, fn)
+		}
+	case TimeTile:
+		fn(v.Update)
 		for _, c := range v.Body {
 			Walk(c, fn)
 		}

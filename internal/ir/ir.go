@@ -23,6 +23,14 @@ type Cluster struct {
 	// HaloReads lists the distributed reads that require fresh halo data:
 	// field name -> set of time offsets read at nonzero space offsets.
 	HaloReads map[string]map[int]bool
+	// Reads lists every read of every field — centred reads included:
+	// field name -> set of time offsets read at any space offset. Time
+	// tiling needs the full set because a redundant ghost-shell recompute
+	// turns even centred reads into reads of neighbour-owned data.
+	Reads map[string]map[int]bool
+	// ReadRadius is the per-field, per-dimension maximum |space offset|
+	// over all reads of that field by this cluster.
+	ReadRadius map[string][]int
 	// Radius is the maximum stencil radius per dimension over all reads.
 	Radius []int
 }
@@ -88,9 +96,11 @@ func Lower(eqs []symbolic.Eq, ndims int) ([]*Cluster, error) {
 
 func newCluster(ndims int) *Cluster {
 	return &Cluster{
-		Writes:    map[string]int{},
-		HaloReads: map[string]map[int]bool{},
-		Radius:    make([]int, ndims),
+		Writes:     map[string]int{},
+		HaloReads:  map[string]map[int]bool{},
+		Reads:      map[string]map[int]bool{},
+		ReadRadius: map[string][]int{},
+		Radius:     make([]int, ndims),
 	}
 }
 
@@ -118,19 +128,33 @@ func (c *Cluster) add(eq symbolic.Eq, ndims int) {
 	c.Writes[lhs.Fun.Name] = lhs.TimeOff
 	for _, a := range symbolic.Accesses(eq.RHS) {
 		shifted := false
+		rr, ok := c.ReadRadius[a.Fun.Name]
+		if !ok {
+			rr = make([]int, ndims)
+			c.ReadRadius[a.Fun.Name] = rr
+		}
 		for d, o := range a.Off {
 			if o != 0 {
 				shifted = true
+			}
+			if o < 0 {
+				o = -o
 			}
 			if d < ndims {
 				if o > c.Radius[d] {
 					c.Radius[d] = o
 				}
-				if -o > c.Radius[d] {
-					c.Radius[d] = -o
+				if o > rr[d] {
+					rr[d] = o
 				}
 			}
 		}
+		ro, ok := c.Reads[a.Fun.Name]
+		if !ok {
+			ro = map[int]bool{}
+			c.Reads[a.Fun.Name] = ro
+		}
+		ro[a.TimeOff] = true
 		if shifted {
 			m, ok := c.HaloReads[a.Fun.Name]
 			if !ok {

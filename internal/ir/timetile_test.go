@@ -1,0 +1,188 @@
+package ir
+
+import (
+	"testing"
+
+	"devigo/internal/symbolic"
+)
+
+// schedOf lowers equations and runs the full schedule pipeline.
+func schedOf(t *testing.T, eqs []symbolic.Eq, nd int, isTime func(string) bool) *Schedule {
+	t.Helper()
+	clusters, err := Lower(eqs, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OptimizeSchedule(BuildSchedule(clusters, nd, isTime), isTime)
+}
+
+// acousticSched builds the canonical second-order scheme: one cluster,
+// u[t+1] from a stencil on u[t], a centred u[t-1], and centred parameters.
+func acousticSched(t *testing.T) (*Schedule, func(string) bool) {
+	t.Helper()
+	u := timeFunc("u", 2)
+	m := paramFunc("m", 2)
+	rhs := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(m), symbolic.Laplace(symbolic.At(u), 2, 4)),
+		symbolic.At(u),
+		symbolic.Neg(symbolic.Shifted(u, -1, 0, 0)),
+	)
+	isTime := func(name string) bool { return name == "u" }
+	return schedOf(t, []symbolic.Eq{{LHS: symbolic.ForwardStencil(u), RHS: rhs}}, 2, isTime), isTime
+}
+
+func TestPlanTimeTileAcoustic(t *testing.T) {
+	s, isTime := acousticSched(t)
+	p, reason := PlanTimeTile(s, 4, isTime, false)
+	if p == nil {
+		t.Fatalf("acoustic schedule refused: %s", reason)
+	}
+	if p.K != 4 {
+		t.Errorf("K = %d, want 4", p.K)
+	}
+	// Single cluster of radius 2: stride [2 2], tail [0 0].
+	if p.Stride[0] != 2 || p.Stride[1] != 2 {
+		t.Errorf("stride = %v, want [2 2]", p.Stride)
+	}
+	if len(p.Tails) != 1 || p.Tails[0][0] != 0 {
+		t.Errorf("tails = %v, want [[0 0]]", p.Tails)
+	}
+	// Tile-start exchange: u at t (stencil read, o=0) and t-1 (centred
+	// read of the older level — never exchanged by a k=1 schedule).
+	want := []HaloReq{{Field: "u", TimeOff: -1}, {Field: "u", TimeOff: 0}}
+	if len(p.Halos) != 2 || p.Halos[0] != want[0] || p.Halos[1] != want[1] {
+		t.Errorf("halos = %v, want %v", p.Halos, want)
+	}
+	// Exchange depth for u: (k-1)*stride + radius = 3*2+2 = 8.
+	if d := p.Depth["u"]; d[0] != 8 || d[1] != 8 {
+		t.Errorf("depth[u] = %v, want [8 8]", d)
+	}
+	// m is read at the centre over the shell: depth (k-1)*stride = 6, and
+	// it must be in the hoisted set (the k=1 preamble never exchanges a
+	// centre-only parameter).
+	if d := p.Depth["m"]; d[0] != 6 || d[1] != 6 {
+		t.Errorf("depth[m] = %v, want [6 6]", d)
+	}
+	if len(p.Hoisted) != 1 || p.Hoisted[0].Field != "m" {
+		t.Errorf("hoisted = %v, want [m@0]", p.Hoisted)
+	}
+	if p.MaxDepth() != 8 {
+		t.Errorf("MaxDepth = %d, want 8", p.MaxDepth())
+	}
+}
+
+func TestPlanTimeTileElasticTwoClusters(t *testing.T) {
+	// Virieux-style pair: v[t+1] = f(v[t], tau[t] stencil);
+	// tau[t+1] = g(tau[t], v[t+1] stencil). Two clusters, in-tile supply
+	// of v[t+1], per-cluster tails.
+	v := timeFunc("v", 2)
+	tau := timeFunc("tau", 2)
+	eq1 := symbolic.Eq{LHS: symbolic.ForwardStencil(v),
+		RHS: symbolic.NewAdd(symbolic.At(v), symbolic.Dx(symbolic.At(tau), 0, 4))}
+	eq2 := symbolic.Eq{LHS: symbolic.ForwardStencil(tau),
+		RHS: symbolic.NewAdd(symbolic.At(tau), symbolic.Dx(symbolic.Shifted(v, 1, 0, 0), 0, 4))}
+	isTime := func(string) bool { return true }
+	s := schedOf(t, []symbolic.Eq{eq1, eq2}, 2, isTime)
+	if len(s.Steps) != 2 {
+		t.Fatalf("want 2 clusters, got %d", len(s.Steps))
+	}
+	p, reason := PlanTimeTile(s, 2, isTime, false)
+	if p == nil {
+		t.Fatalf("elastic-like schedule refused: %s", reason)
+	}
+	r0, r1 := s.Steps[0].Cluster.Radius[0], s.Steps[1].Cluster.Radius[0]
+	if p.Stride[0] != r0+r1 {
+		t.Errorf("stride = %d, want %d+%d", p.Stride[0], r0, r1)
+	}
+	// First cluster's tail is the second's radius; last tail is zero.
+	if p.Tails[0][0] != r1 || p.Tails[1][0] != 0 {
+		t.Errorf("tails = %v, want [[%d ...] [0 ...]]", p.Tails, r1)
+	}
+	// v[t+1] is supplied in-tile (read offset == write offset): the
+	// exchange set is exactly {v@0, tau@0}.
+	want := []HaloReq{{Field: "tau", TimeOff: 0}, {Field: "v", TimeOff: 0}}
+	if len(p.Halos) != 2 || p.Halos[0] != want[0] || p.Halos[1] != want[1] {
+		t.Errorf("halos = %v, want %v", p.Halos, want)
+	}
+}
+
+func TestPlanTimeTileReverseSchedule(t *testing.T) {
+	// Adjoint-style: w[t-1] = f(w[t] stencil, w[t+1] centred). The
+	// pre-tile buffers are t and t+1.
+	w := timeFunc("w", 2)
+	rhs := symbolic.NewAdd(
+		symbolic.Laplace(symbolic.At(w), 2, 4),
+		symbolic.Shifted(w, 1, 0, 0),
+	)
+	isTime := func(string) bool { return true }
+	s := schedOf(t, []symbolic.Eq{{LHS: symbolic.Backward(w), RHS: rhs}}, 2, isTime)
+	p, reason := PlanTimeTile(s, 3, isTime, false)
+	if p == nil {
+		t.Fatalf("reverse schedule refused: %s", reason)
+	}
+	want := []HaloReq{{Field: "w", TimeOff: 0}, {Field: "w", TimeOff: 1}}
+	if len(p.Halos) != 2 || p.Halos[0] != want[0] || p.Halos[1] != want[1] {
+		t.Errorf("halos = %v, want %v", p.Halos, want)
+	}
+}
+
+func TestPlanTimeTileRefusals(t *testing.T) {
+	s, isTime := acousticSched(t)
+	if p, _ := PlanTimeTile(s, 1, isTime, false); p != nil {
+		t.Error("k=1 must not produce a plan")
+	}
+	if p, reason := PlanTimeTile(s, 4, isTime, true); p != nil || reason == "" {
+		t.Error("CIRE scratch must refuse tiling with a reason")
+	}
+
+	// A field written at two time offsets refuses.
+	u := timeFunc("u", 2)
+	eqa := symbolic.Eq{LHS: symbolic.ForwardStencil(u), RHS: symbolic.Laplace(symbolic.At(u), 2, 2)}
+	eqb := symbolic.Eq{LHS: symbolic.At(u), RHS: symbolic.Shifted(u, 1, 1, 0)}
+	isTimeU := func(string) bool { return true }
+	s2 := schedOf(t, []symbolic.Eq{eqa, eqb}, 2, isTimeU)
+	if p, reason := PlanTimeTile(s2, 2, isTimeU, false); p != nil || reason == "" {
+		t.Errorf("two write offsets of one field must refuse, got plan=%v reason=%q", p, reason)
+	}
+
+	// A radius-0 schedule (pointwise update) has nothing to amortize.
+	g := paramFunc("g", 2)
+	eqg := symbolic.Eq{LHS: symbolic.At(g), RHS: symbolic.NewAdd(symbolic.At(g), symbolic.Int(1))}
+	s3 := schedOf(t, []symbolic.Eq{eqg}, 2, func(string) bool { return false })
+	if p, reason := PlanTimeTile(s3, 2, func(string) bool { return false }, false); p != nil || reason == "" {
+		t.Errorf("pointwise schedule must refuse, got plan=%v reason=%q", p, reason)
+	}
+}
+
+func TestClusterReadsTracksCentredReads(t *testing.T) {
+	u := timeFunc("u", 2)
+	m := paramFunc("m", 2)
+	rhs := symbolic.NewAdd(
+		symbolic.NewMul(symbolic.At(m), symbolic.Laplace(symbolic.At(u), 2, 4)),
+		symbolic.Shifted(u, -1, 0, 0),
+	)
+	clusters, err := Lower([]symbolic.Eq{{LHS: symbolic.ForwardStencil(u), RHS: rhs}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := clusters[0]
+	if !c.Reads["u"][0] || !c.Reads["u"][-1] {
+		t.Errorf("Reads[u] = %v, want offsets 0 and -1", c.Reads["u"])
+	}
+	if !c.Reads["m"][0] {
+		t.Errorf("Reads[m] = %v, want offset 0", c.Reads["m"])
+	}
+	// HaloReads must NOT contain the centre-only reads.
+	if c.HaloReads["m"] != nil {
+		t.Errorf("HaloReads[m] = %v, want absent (centre-only)", c.HaloReads["m"])
+	}
+	if c.HaloReads["u"][-1] {
+		t.Error("HaloReads[u] contains the centred t-1 read")
+	}
+	if rr := c.ReadRadius["u"]; rr[0] != 2 || rr[1] != 2 {
+		t.Errorf("ReadRadius[u] = %v, want [2 2]", rr)
+	}
+	if rr := c.ReadRadius["m"]; rr[0] != 0 || rr[1] != 0 {
+		t.Errorf("ReadRadius[m] = %v, want [0 0]", rr)
+	}
+}

@@ -22,7 +22,8 @@ import (
 // what makes in-place tuning on the live simulation sound.
 
 // ExecConfig is one runnable execution configuration of an operator: the
-// communication pattern plus the shared-memory decomposition knobs.
+// communication pattern plus the shared-memory decomposition knobs and
+// the halo-exchange interval.
 type ExecConfig struct {
 	// Mode is the halo-exchange pattern (ModeNone for serial runs).
 	Mode halo.Mode
@@ -30,11 +31,20 @@ type ExecConfig struct {
 	Workers int
 	// TileRows is the outer-dimension tile height (progress granularity).
 	TileRows int
+	// TimeTile is the halo-exchange interval k: deep ghost regions
+	// exchanged once every k steps with redundant shell recompute in
+	// between. 0 and 1 both mean the classic exchange-every-step schedule.
+	TimeTile int
 }
 
-// String renders the configuration as "mode/w<N>/t<M>".
+// String renders the configuration as "mode/w<N>/t<M>", with a "/k<K>"
+// suffix when the exchange interval exceeds 1.
 func (c ExecConfig) String() string {
-	return fmt.Sprintf("%s/w%d/t%d", c.Mode, c.Workers, c.TileRows)
+	s := fmt.Sprintf("%s/w%d/t%d", c.Mode, c.Workers, c.TileRows)
+	if c.TimeTile > 1 {
+		s += fmt.Sprintf("/k%d", c.TimeTile)
+	}
+	return s
 }
 
 // OpProfile is everything the autotuner needs to know about one compiled
@@ -63,6 +73,21 @@ type OpProfile struct {
 	MaxWorkers int
 	// Mode is the currently configured halo mode (ModeNone when serial).
 	Mode halo.Mode
+	// TimeTile is the currently configured halo-exchange interval.
+	TimeTile int
+	// MaxTimeTile bounds the exchange-interval axis of the candidate
+	// space: the largest interval whose deep halos fit the decomposition's
+	// chunks and the operator's current ghost allocation (the tuner never
+	// reallocates storage mid-run). 0 and 1 both collapse the axis to k=1.
+	MaxTimeTile int
+	// TileStride is the per-timestep ghost-shell consumption (the summed
+	// stencil radii of the schedule's clusters, max over dimensions) — the
+	// increment by which the exchanged depth grows per extra substep.
+	TileStride int
+	// TileStreams is the number of (field, time-offset) buffers a
+	// tile-start deep exchange ships (>= HaloStreams: older time levels
+	// that a k=1 schedule never exchanges join the set).
+	TileStreams int
 	// ForcedWorkers/ForcedTileRows pin user-specified knobs: when > 0 the
 	// candidate set only contains that value, so explicit configuration
 	// always wins over the tuner.
@@ -179,11 +204,21 @@ func Candidates(p OpProfile) []ExecConfig {
 	if p.Ranks > 1 && p.Mode != halo.ModeNone {
 		modes = []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull}
 	}
+	ks := []int{1}
+	if p.Ranks > 1 && p.Mode != halo.ModeNone {
+		for _, k := range []int{2, 4, 8} {
+			if k <= p.MaxTimeTile {
+				ks = append(ks, k)
+			}
+		}
+	}
 	var out []ExecConfig
 	for _, m := range modes {
 		for _, w := range workers {
 			for _, t := range tiles {
-				out = append(out, ExecConfig{Mode: m, Workers: w, TileRows: t})
+				for _, k := range ks {
+					out = append(out, ExecConfig{Mode: m, Workers: w, TileRows: t, TimeTile: k})
+				}
 			}
 		}
 	}
@@ -237,9 +272,35 @@ func (h Host) Predict(p OpProfile, c ExecConfig) float64 {
 		return compute
 	}
 
-	msgs, perStream := halo.Traffic(c.Mode, p.LocalShape, p.HaloWidth)
-	nm := float64(msgs * p.HaloStreams)
-	bytes := perStream * float64(p.HaloStreams)
+	var nm, bytes float64
+	k := c.TimeTile
+	if k < 1 {
+		k = 1
+	}
+	if k > 1 {
+		// Time tiling: per-step compute grows by the average redundant
+		// ghost-shell volume; messages amortize by k over a deep exchange of
+		// TileStreams buffers at depth ~HaloWidth + (k-1)·stride.
+		shell := 0.0
+		for j := 0; j < k; j++ {
+			pj := 1.0
+			for d := range p.LocalShape {
+				pj *= float64(p.LocalShape[d] + 2*j*p.TileStride)
+			}
+			shell += pj
+		}
+		compute *= shell / (float64(k) * pts)
+		width := p.HaloWidth + (k-1)*p.TileStride
+		streams := p.TileStreams
+		if streams <= 0 {
+			streams = p.HaloStreams
+		}
+		nm, bytes = halo.AmortizedTraffic(c.Mode, p.LocalShape, width, k, streams)
+	} else {
+		msgs, perStream := halo.Traffic(c.Mode, p.LocalShape, p.HaloWidth)
+		nm = float64(msgs * p.HaloStreams)
+		bytes = perStream * float64(p.HaloStreams)
+	}
 	comm := nm*h.MsgLatency + bytes/h.ExchangeBandwidth
 	switch c.Mode {
 	case halo.ModeBasic:
@@ -293,7 +354,10 @@ func Plan(h Host, p OpProfile) []ExecConfig {
 		if ca.Workers != cb.Workers {
 			return ca.Workers < cb.Workers
 		}
-		return ca.TileRows < cb.TileRows
+		if ca.TileRows != cb.TileRows {
+			return ca.TileRows < cb.TileRows
+		}
+		return ca.TimeTile < cb.TimeTile
 	})
 	out := make([]ExecConfig, len(cands))
 	for i, j := range idx {
@@ -318,15 +382,42 @@ type Trial struct {
 	Seconds float64
 }
 
-// Tune is the bounded empirical search: it ranks the candidate space with
-// the cost model (Plan), measures the top `trials` configurations through
-// the caller's measure callback (expected to time a few short runs — for
-// the in-place tuner, real timesteps of the live simulation, which is
-// sound because every candidate is bit-exact), and returns the measured
-// winner plus the trial log. Model ranking decides which configurations
-// are worth timing; measurement decides between them. If measure returns
-// ErrTuneBudget before anything was measured, the model's top choice is
-// returned. Any other measure error aborts.
+// tuneGroup is the qualitative half of a configuration: the
+// communication pattern and whether it time-tiles. The empirical search
+// decides the group first, then refines the quantitative knobs (workers,
+// tile rows, exact interval) within it.
+type tuneGroup struct {
+	mode  halo.Mode
+	tiled bool
+}
+
+func groupOf(c ExecConfig) tuneGroup { return tuneGroup{c.Mode, c.TimeTile > 1} }
+
+// groupHeads returns the model's top-ranked candidate of every group, in
+// rank order.
+func groupHeads(plan []ExecConfig) []ExecConfig {
+	seen := map[tuneGroup]bool{}
+	var heads []ExecConfig
+	for _, c := range plan {
+		if g := groupOf(c); !seen[g] {
+			seen[g] = true
+			heads = append(heads, c)
+		}
+	}
+	return heads
+}
+
+// Tune is the bounded empirical search, in two phases. Phase 1 measures
+// the model's top candidate of every qualitatively distinct group —
+// (halo mode, deep-tiled or not) — so the communication patterns and the
+// exchange-interval axis are always spanned even when the cost model
+// misranks a whole mode. Phase 2 spends up to `trials` further
+// measurements refining the quantitative knobs (workers, tile rows, the
+// exact interval) within the winning group, in model-rank order. The
+// measure callback is expected to time a few real timesteps of the live
+// simulation — sound because every candidate is bit-exact — and may
+// return ErrTuneBudget to stop the search; the best measurement so far
+// (or the model's top choice, if nothing was measured) wins.
 func Tune(h Host, p OpProfile, trials int, measure func(ExecConfig) (float64, error)) (ExecConfig, []Trial, error) {
 	plan := Plan(h, p)
 	if len(plan) == 0 {
@@ -335,31 +426,57 @@ func Tune(h Host, p OpProfile, trials int, measure func(ExecConfig) (float64, er
 	if trials <= 0 {
 		trials = DefaultSearchTrials
 	}
-	if trials > len(plan) {
-		trials = len(plan)
-	}
 	var log []Trial
-	for _, cfg := range plan[:trials] {
-		s, err := measure(cfg)
-		if errors.Is(err, ErrTuneBudget) {
+	run := func(cands []ExecConfig) (bool, error) {
+		for _, cfg := range cands {
+			s, err := measure(cfg)
+			if errors.Is(err, ErrTuneBudget) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			log = append(log, Trial{Config: cfg, Seconds: s})
+		}
+		return true, nil
+	}
+	pickBest := func() (Trial, bool) {
+		ok := false
+		var best Trial
+		for _, t := range log {
+			if math.IsNaN(t.Seconds) {
+				continue
+			}
+			if !ok || t.Seconds < best.Seconds {
+				best, ok = t, true
+			}
+		}
+		return best, ok
+	}
+
+	// Phase 1: one trial per group.
+	if _, err := run(groupHeads(plan)); err != nil {
+		return ExecConfig{}, log, err
+	}
+	best, ok := pickBest()
+	if !ok {
+		return plan[0], log, nil
+	}
+	// Phase 2: refine within the winning group.
+	winner := groupOf(best.Config)
+	var refine []ExecConfig
+	for _, c := range plan {
+		if groupOf(c) != winner || c == best.Config {
+			continue
+		}
+		refine = append(refine, c)
+		if len(refine) >= trials {
 			break
 		}
-		if err != nil {
-			return ExecConfig{}, log, err
-		}
-		log = append(log, Trial{Config: cfg, Seconds: s})
 	}
-	if len(log) == 0 {
-		return plan[0], log, nil
+	if _, err := run(refine); err != nil {
+		return ExecConfig{}, log, err
 	}
-	best := log[0]
-	for _, t := range log[1:] {
-		if t.Seconds < best.Seconds {
-			best = t
-		}
-	}
-	if math.IsNaN(best.Seconds) {
-		return plan[0], log, nil
-	}
+	best, _ = pickBest()
 	return best.Config, log, nil
 }

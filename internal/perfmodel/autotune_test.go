@@ -114,11 +114,12 @@ func TestTunePicksMeasuredMinimum(t *testing.T) {
 	h := DefaultHost()
 	p := serialProfile(128)
 	// Synthetic ground truth that disagrees with the model: the *last*
-	// shortlisted configuration (the one the model likes least among the
-	// measured set) is declared fastest. Tune must believe the
-	// measurement, not the model.
+	// configuration the search will measure (a serial plan has a single
+	// group, so the measured set is the group head plus
+	// DefaultSearchTrials refinements in rank order) is declared fastest.
+	// Tune must believe the measurement, not the model.
 	plan := Plan(h, p)
-	short := DefaultSearchTrials
+	short := 1 + DefaultSearchTrials
 	if short > len(plan) {
 		short = len(plan)
 	}
@@ -138,6 +139,44 @@ func TestTunePicksMeasuredMinimum(t *testing.T) {
 	}
 	if cfg != target {
 		t.Fatalf("tune ignored the measured minimum %v, picked %v", target, cfg)
+	}
+}
+
+func TestTuneSpansGroupsThenRefinesWinner(t *testing.T) {
+	// A distributed profile with the k-axis open has six qualitative
+	// groups (3 modes x tiled-or-not). Declare a group the model ranks
+	// LAST the true winner: phase 1 must still measure it (one head per
+	// group), and phase 2 must refine within it.
+	h := DefaultHost()
+	p := tileProfile()
+	plan := Plan(h, p)
+	heads := groupHeads(plan)
+	if len(heads) != 6 {
+		t.Fatalf("expected 6 group heads, got %d (%v)", len(heads), heads)
+	}
+	target := heads[len(heads)-1]
+	measure := func(c ExecConfig) (float64, error) {
+		if groupOf(c) == groupOf(target) {
+			return 0.1, nil
+		}
+		return 1.0, nil
+	}
+	cfg, trials, err := Tune(h, p, 0, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groupOf(cfg) != groupOf(target) {
+		t.Fatalf("tune missed the winning group %v, picked %v", target, cfg)
+	}
+	refined := 0
+	for _, tr := range trials[len(heads):] {
+		if groupOf(tr.Config) != groupOf(target) {
+			t.Errorf("phase-2 trial %v outside the winning group", tr.Config)
+		}
+		refined++
+	}
+	if refined == 0 {
+		t.Error("no phase-2 refinement trials ran")
 	}
 }
 

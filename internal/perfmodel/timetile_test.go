@@ -1,0 +1,100 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"devigo/internal/halo"
+)
+
+// tileProfile is a latency-dominated distributed profile: tiny per-rank
+// boxes where per-message latency dwarfs both compute and bytes.
+func tileProfile() OpProfile {
+	return OpProfile{
+		LocalShape:      []int{16, 16},
+		InstrsPerPoint:  30,
+		StreamsPerPoint: 5,
+		HaloStreams:     1,
+		HaloWidth:       4,
+		Ranks:           4,
+		MaxWorkers:      1,
+		Mode:            halo.ModeDiagonal,
+		TimeTile:        1,
+		MaxTimeTile:     8,
+		TileStride:      2,
+		TileStreams:     2,
+	}
+}
+
+func TestCandidatesIncludeExchangeIntervals(t *testing.T) {
+	p := tileProfile()
+	ks := map[int]bool{}
+	for _, c := range Candidates(p) {
+		ks[c.TimeTile] = true
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		if !ks[k] {
+			t.Errorf("candidate space lacks interval %d: %v", k, ks)
+		}
+	}
+	// The feasibility bound caps the axis.
+	p.MaxTimeTile = 2
+	ks = map[int]bool{}
+	for _, c := range Candidates(p) {
+		ks[c.TimeTile] = true
+	}
+	if ks[4] || ks[8] {
+		t.Errorf("intervals beyond MaxTimeTile offered: %v", ks)
+	}
+	// Serial profiles never tile.
+	p.Ranks = 1
+	p.Mode = halo.ModeNone
+	for _, c := range Candidates(p) {
+		if c.TimeTile > 1 {
+			t.Errorf("serial candidate with interval %d", c.TimeTile)
+		}
+	}
+}
+
+func TestPredictPrefersDeepIntervalWhenLatencyBound(t *testing.T) {
+	p := tileProfile()
+	h := DefaultHost()
+	base := ExecConfig{Mode: halo.ModeDiagonal, Workers: 1, TileRows: 16, TimeTile: 1}
+	deep := base
+	deep.TimeTile = 4
+	if h.Predict(p, deep) >= h.Predict(p, base) {
+		t.Errorf("k=4 predicted %.3g >= k=1 %.3g on a latency-dominated profile",
+			h.Predict(p, deep), h.Predict(p, base))
+	}
+	// On a big compute-bound box the redundant shell must make deep
+	// intervals unattractive.
+	p.LocalShape = []int{512, 512}
+	big := ExecConfig{Mode: halo.ModeDiagonal, Workers: 1, TileRows: 512, TimeTile: 1}
+	bigDeep := big
+	bigDeep.TimeTile = 8
+	if h.Predict(p, bigDeep) <= h.Predict(p, big) {
+		t.Errorf("k=8 predicted %.3g <= k=1 %.3g on a compute-bound profile",
+			h.Predict(p, bigDeep), h.Predict(p, big))
+	}
+}
+
+func TestPlanRanksDeepIntervalFirstWhenLatencyBound(t *testing.T) {
+	p := tileProfile()
+	plan := Plan(DefaultHost(), p)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	if plan[0].TimeTile < 2 {
+		t.Errorf("top-ranked config %v has interval %d, want >= 2", plan[0], plan[0].TimeTile)
+	}
+}
+
+func TestExecConfigStringWithInterval(t *testing.T) {
+	c := ExecConfig{Mode: halo.ModeFull, Workers: 4, TileRows: 16}
+	if got := c.String(); got != "full/w4/t16" {
+		t.Errorf("k<=1 String() = %q, want no interval suffix", got)
+	}
+	c.TimeTile = 4
+	if got := c.String(); got != "full/w4/t16/k4" {
+		t.Errorf("k=4 String() = %q, want full/w4/t16/k4", got)
+	}
+}

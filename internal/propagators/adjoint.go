@@ -112,6 +112,9 @@ type AdjointConfig struct {
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
+	// TimeTile requests the halo-exchange interval k for the reverse
+	// sweep; 0 consults DEVIGO_TIME_TILE.
+	TimeTile int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
 	// Autotune selects the self-configuration policy forwarded to
@@ -167,7 +170,8 @@ func RunAdjoint(fwd *Model, ctx *core.Context, ac AdjointConfig) (*AdjointResult
 		}
 	}
 	op, err := core.NewOperator(adj.Eqs, adj.Fields, adj.Grid, ctx,
-		&core.Options{Name: adj.Name, Workers: ac.Workers, TileRows: ac.TileRows, Engine: ac.Engine})
+		&core.Options{Name: adj.Name, Workers: ac.Workers, TileRows: ac.TileRows,
+			TimeTile: ac.TimeTile, Engine: ac.Engine})
 	if err != nil {
 		return nil, err
 	}
@@ -190,11 +194,12 @@ func RunAdjoint(fwd *Model, ctx *core.Context, ac AdjointConfig) (*AdjointResult
 	vals := make([]float32, len(ac.RecCoords))
 	postStep := func(t int) {
 		// The reverse iteration t wrote buffer t-1 (= the adjoint state
-		// w[t-1]); inject the matching receiver sample and read back.
+		// w[t-1]); inject the matching receiver sample — mirrored into the
+		// ghost shell under time tiling — and read back.
 		for r, d := range ac.RecData[t-1] {
 			vals[r] = float32(d) * scale
 		}
-		_ = rec.Inject(v, t-1, vals)
+		_ = rec.InjectDeep(v, t-1, vals, op.InjectDepth())
 		res.SrcTraces[t-1] = src.Interpolate(v, t-1, commOf(ctx))[0]
 	}
 	if err := op.Apply(&core.ApplyOpts{

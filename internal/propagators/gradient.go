@@ -39,6 +39,9 @@ type GradientConfig struct {
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
+	// TimeTile requests the halo-exchange interval k for the forward and
+	// adjoint operators; 0 consults DEVIGO_TIME_TILE.
+	TimeTile int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
 	// Autotune selects the self-configuration policy for the forward and
@@ -113,6 +116,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		ReceiverCoords: gc.ReceiverCoords,
 		Checkpoint:     store,
 		Workers:        gc.Workers, TileRows: gc.TileRows,
+		TimeTile: gc.TimeTile,
 		Engine:   gc.Engine,
 		Autotune: gc.Autotune,
 	}
@@ -151,7 +155,8 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		return nil, err
 	}
 	adjOp, err := core.NewOperator(adj.Eqs, adj.Fields, adj.Grid, ctx,
-		&core.Options{Name: adj.Name, Workers: gc.Workers, TileRows: gc.TileRows, Engine: gc.Engine})
+		&core.Options{Name: adj.Name, Workers: gc.Workers, TileRows: gc.TileRows,
+			TimeTile: gc.TimeTile, Engine: gc.Engine})
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +200,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 			if err := fres.Op.Apply(&core.ApplyOpts{
 				TimeM: s, TimeN: end - 1, Syms: syms,
 				PostStep: func(t int) {
-					srcs.inject(m, t)
+					srcs.inject(m, t, fres.Op.InjectDepth())
 					store.RecordLevel(t + 1)
 				},
 			}); err != nil {
@@ -228,7 +233,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 				for r, d := range adjSrc[t-1] {
 					vals[r] = float32(d) * scale
 				}
-				_ = srcs.rec.Inject(v, t-1, vals)
+				_ = srcs.rec.InjectDeep(v, t-1, vals, adjOp.InjectDepth())
 				res.SrcTraces[t-1] = srcs.src.Interpolate(v, t-1, commOf(ctx))[0]
 			},
 		}); err != nil {

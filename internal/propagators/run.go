@@ -39,6 +39,9 @@ type RunConfig struct {
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
+	// TimeTile requests the halo-exchange interval k (deep halos exchanged
+	// once every k steps, bit-exact vs k=1); 0 consults DEVIGO_TIME_TILE.
+	TimeTile int
 	// Engine selects the execution engine ("" = core default).
 	Engine string
 	// Autotune selects the self-configuration policy forwarded to
@@ -79,7 +82,8 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 		nt = int(rc.Time/dt) + 1
 	}
 	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx,
-		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows, Engine: rc.Engine})
+		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows,
+			TimeTile: rc.TimeTile, Engine: rc.Engine})
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +98,7 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 		rc.Checkpoint.SaveIfDue(0)
 	}
 	postStep := func(t int) {
-		srcs.inject(m, t)
+		srcs.inject(m, t, op.InjectDepth())
 		if srcs.rec != nil {
 			res.Receivers = append(res.Receivers,
 				srcs.rec.Interpolate(m.Fields[m.WaveFields[0]], t+1, commOf(ctx)))
@@ -175,15 +179,18 @@ func injectionScale(m *Model, dt float64) float32 {
 }
 
 // inject adds the step-t source sample into the freshly written buffer
-// t+1 of every source field.
-func (s *sourceSetup) inject(m *Model, t int) {
+// t+1 of every source field. depth mirrors the injection into the ghost
+// region (core.Operator.InjectDepth) so time-tiled shell recompute
+// observes neighbour injections bit-exactly; nil injects owned points
+// only, the classic k=1 behaviour.
+func (s *sourceSetup) inject(m *Model, t int, depth []int) {
 	var amp float32
 	if t >= 0 && t < len(s.wavelet) {
 		amp = s.wavelet[t]
 	}
 	val := []float32{amp * s.scale}
 	for _, fname := range m.SourceFields {
-		_ = s.src.Inject(m.Fields[fname], t+1, val)
+		_ = s.src.InjectDeep(m.Fields[fname], t+1, val, depth)
 	}
 }
 

@@ -1,0 +1,385 @@
+package propagators
+
+import (
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+)
+
+// The time-tiling differential suite: exchange-interval k > 1 must be
+// bit-exact versus k=1 for every scenario, halo mode and engine, forward
+// and reverse, because the redundant ghost-shell recompute evaluates the
+// identical per-point expressions on identical data. Norm and receiver
+// traces are compared with ==.
+
+// ttRun executes one 4-rank (2x2) run and returns the rank-0 norm,
+// receiver traces and the effective exchange interval.
+func ttRun(t *testing.T, model string, shape []int, mode halo.Mode, engine string, so, nt, k int) (float64, [][]float64, int) {
+	t.Helper()
+	w := mpi.NewWorld(4)
+	var norm float64
+	var traces [][]float64
+	var eff int
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, so)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build(model, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, TimeTile: k, Engine: engine, Workers: 2, TileRows: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			norm, traces, eff = res.Norm, res.Receivers, res.Op.TimeTile()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, traces, eff
+}
+
+func assertSameTraces(t *testing.T, label string, a, b [][]float64) {
+	t.Helper()
+	for it := range a {
+		for r := range a[it] {
+			if a[it][r] != b[it][r] {
+				t.Fatalf("%s: trace (%d,%d) diverges: %v vs %v", label, it, r, a[it][r], b[it][r])
+			}
+		}
+	}
+}
+
+// Every scenario x halo mode x k in {2,4,8} must match k=1 bit-for-bit.
+// TTI falls back to k=1 (CIRE scratch) and must still be exact; the
+// k=8 elastic/viscoelastic runs exercise the chunk-feasibility clamp.
+func TestTimeTile_DMPBitExactAllModelsAllModes(t *testing.T) {
+	shape := []int{24, 24}
+	so, nt := 4, 16
+	ks := []int{2, 4, 8}
+	if testing.Short() {
+		ks = []int{2, 4}
+	}
+	for _, model := range ModelNames() {
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			t.Run(model+"/"+mode.String(), func(t *testing.T) {
+				refNorm, refTraces, _ := ttRun(t, model, shape, mode, core.EngineBytecode, so, nt, 1)
+				for _, k := range ks {
+					norm, traces, eff := ttRun(t, model, shape, mode, core.EngineBytecode, so, nt, k)
+					if model == "tti" && eff != 1 {
+						t.Errorf("TTI (CIRE scratch) must fall back to k=1, got %d", eff)
+					}
+					if norm != refNorm {
+						t.Errorf("k=%d (eff %d): norm %v != k=1 norm %v", k, eff, norm, refNorm)
+					}
+					assertSameTraces(t, model, refTraces, traces)
+				}
+			})
+		}
+	}
+}
+
+// Both engines agree under tiling (and with each other's k=1 results).
+func TestTimeTile_EnginesBitExact(t *testing.T) {
+	shape := []int{24, 24}
+	so, nt := 4, 16
+	refNorm, refTraces, _ := ttRun(t, "acoustic", shape, halo.ModeDiagonal, core.EngineInterpreter, so, nt, 1)
+	for _, engine := range []string{core.EngineBytecode, core.EngineInterpreter} {
+		norm, traces, eff := ttRun(t, "acoustic", shape, halo.ModeDiagonal, engine, so, nt, 4)
+		if eff != 4 {
+			t.Errorf("%s: effective interval %d, want 4", engine, eff)
+		}
+		if norm != refNorm {
+			t.Errorf("%s k=4: norm %v != interpreter k=1 norm %v", engine, norm, refNorm)
+		}
+		assertSameTraces(t, engine, refTraces, traces)
+	}
+}
+
+// Serial contexts ignore the exchange interval (nothing to avoid).
+func TestTimeTile_SerialFallsBack(t *testing.T) {
+	m, err := Build("acoustic", serialCfg([]int{24, 24}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: 8, TimeTile: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op.TimeTile() != 1 {
+		t.Errorf("serial effective interval = %d, want 1", res.Op.TimeTile())
+	}
+	if res.Op.Config().TimeTile != 1 {
+		t.Errorf("serial config interval = %d, want 1", res.Op.Config().TimeTile)
+	}
+}
+
+// The adjoint (reverse-time) sweep tiles too: RunAdjoint with k=4 must
+// reproduce the k=1 source traces and final norm bit-for-bit on 4 ranks.
+func TestTimeTile_AdjointBitExact(t *testing.T) {
+	shape := []int{24, 24}
+	const so, nt = 4, 16
+	run := func(k int) (float64, []float64) {
+		w := mpi.NewWorld(4)
+		var norm float64
+		var traces []float64
+		err := w.Run(func(c *mpi.Comm) {
+			g := grid.MustNew(shape, nil)
+			dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cart, err := mpi.CartCreate(c, dec.Topology, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := serialCfg(shape, so)
+			cfg.Decomp = dec
+			cfg.Rank = c.Rank()
+			m, err := Build("acoustic", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+			fres, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, TimeTile: k})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ares, err := RunAdjoint(m, ctx, AdjointConfig{
+				NT: nt, RecCoords: ReceiverLine(m.Grid, 4), RecData: fres.Receivers, TimeTile: k,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				norm, traces = ares.Norm, ares.SrcTraces
+				if k > 1 && ares.Op.TimeTile() < 2 {
+					t.Errorf("adjoint operator did not tile: interval %d", ares.Op.TimeTile())
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return norm, traces
+	}
+	refNorm, refTraces := run(1)
+	norm, traces := run(4)
+	if norm != refNorm {
+		t.Errorf("adjoint k=4 norm %v != k=1 norm %v", norm, refNorm)
+	}
+	for i := range refTraces {
+		if traces[i] != refTraces[i] {
+			t.Fatalf("adjoint trace %d diverges: %v vs %v", i, traces[i], refTraces[i])
+		}
+	}
+}
+
+// The checkpointed gradient pipeline composes with tiling: identical
+// gradient norm and dot-product identity versus k=1 on 4 ranks.
+func TestTimeTile_GradientBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gradient tiling differential skipped in -short")
+	}
+	shape := []int{24, 24}
+	const so, nt = 4, 12
+	run := func(k int) (float64, float64) {
+		w := mpi.NewWorld(4)
+		var gnorm, relErr float64
+		err := w.Run(func(c *mpi.Comm) {
+			g := grid.MustNew(shape, nil)
+			dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cart, err := mpi.CartCreate(c, dec.Topology, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := serialCfg(shape, so)
+			cfg.Decomp = dec
+			cfg.Rank = c.Rank()
+			m, err := Build("acoustic", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+			res, err := RunGradient(m, ctx, GradientConfig{NT: nt, NReceivers: 4, CheckpointInterval: 3, TimeTile: k})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				gnorm, relErr = res.GradNorm, res.RelErr
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gnorm, relErr
+	}
+	refNorm, refErr := run(1)
+	gnorm, relErr := run(4)
+	if gnorm != refNorm {
+		t.Errorf("gradient k=4 norm %v != k=1 norm %v", gnorm, refNorm)
+	}
+	if relErr != refErr {
+		t.Errorf("gradient k=4 rel-err %v != k=1 rel-err %v", relErr, refErr)
+	}
+}
+
+// DEVIGO_TIME_TILE reaches the operator with zero code changes.
+func TestTimeTile_EnvVar(t *testing.T) {
+	t.Setenv(core.TimeTileEnvVar, "4")
+	norm, _, eff := ttRun(t, "acoustic", []int{24, 24}, halo.ModeDiagonal, core.EngineBytecode, 4, 12, 0)
+	if eff != 4 {
+		t.Errorf("effective interval via env = %d, want 4", eff)
+	}
+	t.Setenv(core.TimeTileEnvVar, "")
+	refNorm, _, _ := ttRun(t, "acoustic", []int{24, 24}, halo.ModeDiagonal, core.EngineBytecode, 4, 12, 1)
+	if norm != refNorm {
+		t.Errorf("env-tiled norm %v != k=1 norm %v", norm, refNorm)
+	}
+}
+
+// On a latency-dominated configuration (tiny per-rank boxes) the cost
+// model must rank an exchange interval > 1 on top — the deterministic
+// half of the "autotuner exploits communication avoidance" claim — and
+// the tuned run must stay bit-exact.
+func TestTimeTile_AutotuneSelectsDeepInterval(t *testing.T) {
+	shape := []int{32, 32}
+	const so, nt = 4, 24
+	refNorm, refTraces, _ := ttRun(t, "acoustic", shape, halo.ModeDiagonal, core.EngineBytecode, so, nt, 1)
+	w := mpi.NewWorld(4)
+	var norm float64
+	var traces [][]float64
+	var cfgEff core.EffectiveConfig
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, so)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build("acoustic", cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, TimeTile: 8, Autotune: core.AutotuneModel})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			norm, traces, cfgEff = res.Norm, res.Receivers, res.Op.Config()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgEff.TimeTile < 2 {
+		t.Errorf("model policy chose interval %d on a latency-dominated config, want >= 2 (%+v)", cfgEff.TimeTile, cfgEff)
+	}
+	if norm != refNorm {
+		t.Errorf("autotuned norm %v != k=1 norm %v (%+v)", norm, refNorm, cfgEff)
+	}
+	assertSameTraces(t, "autotune", refTraces, traces)
+}
+
+// Real MPI accounting: at k=4 the elastic model's halo messages must drop
+// by at least 2x versus k=1 (the ISSUE's strong-scaling lever). Receivers
+// are disabled so the counters see only halo traffic plus the one final
+// norm reduction.
+func TestTimeTile_MessageCountDrops(t *testing.T) {
+	shape := []int{32, 32}
+	const so, nt = 4, 32
+	count := func(k int) (int, float64) {
+		w := mpi.NewWorld(4)
+		var norm float64
+		err := w.Run(func(c *mpi.Comm) {
+			g := grid.MustNew(shape, nil)
+			dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cart, err := mpi.CartCreate(c, dec.Topology, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := serialCfg(shape, so)
+			cfg.Decomp = dec
+			cfg.Rank = c.Rank()
+			m, err := Build("elastic", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+			res, err := Run(m, ctx, RunConfig{NT: nt, TimeTile: k})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				norm = res.Norm
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := 0
+		for _, s := range w.StatsSnapshot() {
+			msgs += s.MsgsSent
+		}
+		return msgs, norm
+	}
+	m1, n1 := count(1)
+	m4, n4 := count(4)
+	if n1 != n4 {
+		t.Fatalf("norms diverge while counting messages: %v vs %v", n1, n4)
+	}
+	if float64(m4) > float64(m1)/2 {
+		t.Errorf("k=4 sent %d messages vs %d at k=1: want at least a 2x drop", m4, m1)
+	}
+	t.Logf("messages: k=1 %d, k=4 %d (%.2fx reduction)", m1, m4, float64(m1)/float64(m4))
+}

@@ -60,13 +60,19 @@ func (k *Kernel) Run(t int, b Box, syms []float64, opts *ExecOpts) {
 		tileRows = opts.TileRows
 		progress = opts.Progress
 	}
-	// Resolve per-(field,timeOff) data slices once per step.
-	type binding struct {
-		data []float32
-	}
+	// Resolve per-(field,timeOff) data slices — and each slot's flat
+	// stencil displacement against the field's *current* strides — once per
+	// step, so ghost-storage reallocation between steps is transparent.
 	slotData := make([][]float32, len(k.slots))
+	slotOff := make([]int, len(k.slots))
 	for i, s := range k.slots {
-		slotData[i] = k.Fields[s.fieldIdx].Buf(t + s.timeOff).Data
+		f := k.Fields[s.fieldIdx]
+		slotData[i] = f.Buf(t + s.timeOff).Data
+		flat := 0
+		for d := 0; d < len(b.Lo); d++ {
+			flat += s.off[d] * f.Bufs[0].Strides[d]
+		}
+		slotOff[i] = flat
 	}
 	outData := make([][]float32, len(k.Eqs))
 	for i, e := range k.Eqs {
@@ -118,7 +124,7 @@ func (k *Kernel) Run(t int, b Box, syms []float64, opts *ExecOpts) {
 					sp++
 				case opLoad:
 					s := &k.slots[in.a]
-					stack[sp] = float64(slotData[in.a][bases[s.fieldIdx]+x+s.flatOff])
+					stack[sp] = float64(slotData[in.a][bases[s.fieldIdx]+x+slotOff[in.a]])
 					sp++
 				case opAdd:
 					n := in.a

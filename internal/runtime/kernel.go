@@ -32,12 +32,19 @@ type instr struct {
 }
 
 // slot is a resolved field access: which function, which time offset, and
-// the flat buffer displacement of the stencil offset.
+// the per-dimension stencil offset. The flat buffer displacement is
+// derived from the field's *current* strides at every Run, so reallocating
+// ghost storage (deep halos for a larger exchange interval) never requires
+// recompiling kernels.
 type slot struct {
 	fieldIdx int
 	timeOff  int
-	flatOff  int
+	off      [maxDims]int
 }
+
+// maxDims bounds the spatial dimensionality of compiled kernels (the
+// compiler's dimension names are x, y, z).
+const maxDims = 3
 
 // CompiledEq is one lowered equation ready to execute.
 type CompiledEq struct {
@@ -144,12 +151,12 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 			if err != nil {
 				return err
 			}
-			f := k.Fields[fi]
-			flat := 0
-			for d, o := range v.Off {
-				flat += o * f.Bufs[0].Strides[d]
+			if len(v.Off) > maxDims {
+				return fmt.Errorf("runtime: access %s exceeds %d dimensions", v, maxDims)
 			}
-			*prog = append(*prog, instr{op: opLoad, a: getSlot(slot{fieldIdx: fi, timeOff: v.TimeOff, flatOff: flat})})
+			s := slot{fieldIdx: fi, timeOff: v.TimeOff}
+			copy(s.off[:], v.Off)
+			*prog = append(*prog, instr{op: opLoad, a: getSlot(s)})
 			bump(depth + 1)
 		case symbolic.Add:
 			// Binary accumulation keeps the stack depth proportional to
@@ -222,7 +229,7 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 		k.Eqs = append(k.Eqs, ce)
 	}
 	// Validate that all fields share the local domain shape; differing halo
-	// widths are fine (strides already baked into flat offsets).
+	// widths are fine (strides are resolved at execution time).
 	for i := 1; i < len(k.Fields); i++ {
 		for d := range k.Fields[0].LocalShape {
 			if k.Fields[i].LocalShape[d] != k.Fields[0].LocalShape[d] {

@@ -95,9 +95,20 @@ func (s *SparseFunction) support(p int) []corner {
 // ownsPoint reports whether the field's local DOMAIN contains the global
 // grid index.
 func ownsPoint(f *field.Function, gidx []int) bool {
+	return ownsPointDeep(f, gidx, nil)
+}
+
+// ownsPointDeep reports whether the global grid index falls within the
+// field's local DOMAIN extended by depth[d] ghost points per side (nil
+// depth means the owned box only).
+func ownsPointDeep(f *field.Function, gidx []int, depth []int) bool {
 	for d, g := range gidx {
+		ext := 0
+		if depth != nil {
+			ext = depth[d]
+		}
 		l := g - f.Origin[d]
-		if l < 0 || l >= f.LocalShape[d] {
+		if l < -ext || l >= f.LocalShape[d]+ext {
 			return false
 		}
 	}
@@ -110,13 +121,38 @@ func ownsPoint(f *field.Function, gidx []int) bool {
 // update is applied exactly once regardless of how many ranks share the
 // point's cell (paper Fig. 3 ownership).
 func (s *SparseFunction) Inject(f *field.Function, t int, vals []float32) error {
+	return s.InjectDeep(f, t, vals, nil)
+}
+
+// InjectDeep is Inject extended to the ghost region: contributions are
+// additionally applied to the rank's local *copies* of neighbour-owned
+// points up to depth[d] ghost points per side. Every rank computes the
+// identical float32 contribution from the globally known coordinates and
+// values, so the owned copy and every ghost copy of a grid point receive
+// bit-identical updates — the invariant communication-avoiding time
+// tiling needs for its redundant shell recompute to reproduce the
+// neighbour's post-injection data exactly. nil depth is plain owned-only
+// injection.
+func (s *SparseFunction) InjectDeep(f *field.Function, t int, vals []float32, depth []int) error {
 	if len(vals) != s.NPoints() {
 		return fmt.Errorf("sparse: %d values for %d points", len(vals), s.NPoints())
+	}
+	if depth != nil {
+		// Clamp to the allocation: the caller may pass an operator-wide
+		// depth wider than this field's own ghost region.
+		clamped := make([]int, len(depth))
+		for d := range depth {
+			clamped[d] = depth[d]
+			if d < len(f.Halo) && clamped[d] > f.Halo[d] {
+				clamped[d] = f.Halo[d]
+			}
+		}
+		depth = clamped
 	}
 	buf := f.Buf(t)
 	for p := range s.Coords {
 		for _, c := range s.support(p) {
-			if !ownsPoint(f, c.idx) {
+			if !ownsPointDeep(f, c.idx, depth) {
 				continue
 			}
 			idx := make([]int, len(c.idx))
