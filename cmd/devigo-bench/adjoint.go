@@ -9,6 +9,7 @@ import (
 
 	"devigo/internal/checkpoint"
 	"devigo/internal/core"
+	"devigo/internal/obs"
 	"devigo/internal/propagators"
 )
 
@@ -49,6 +50,9 @@ type AdjointReport struct {
 	RecomputedSteps    int                             `json:"recomputed_steps"`
 	DotTest            AdjointDotTest                  `json:"dot_test"`
 	Engines            map[string]AdjointEngineMetrics `json:"engines"`
+	// Obs is the metrics-registry snapshot covering both engines' gradient
+	// runs (checkpoint save/restore counts, step splits, traffic).
+	Obs obs.Metrics `json:"obs"`
 }
 
 // runAdjoint measures the checkpointed acoustic gradient with both
@@ -87,6 +91,8 @@ func runAdjoint(size, nt, ckpt int, outDir string) error {
 		},
 		Engines: map[string]AdjointEngineMetrics{},
 	}
+	obs.EnableMetrics()
+	obs.Reset()
 	fmt.Printf("Measured gradient, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
 	fmt.Printf("%-14s %10s %12s %12s %12s\n", "engine", "seconds", "fwd GPts/s", "adj GPts/s", "rel err")
 	for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
@@ -120,6 +126,7 @@ func runAdjoint(size, nt, ckpt int, outDir string) error {
 		fmt.Printf("%-14s %10.3f %12.4f %12.4f %12.2e\n",
 			engine, elapsed, res.ForwardPerf.GPtss(), res.AdjointPerf.GPtss(), res.RelErr)
 	}
+	report.Obs = obs.Snapshot()
 	path := filepath.Join(outDir, "BENCH_adjoint.json")
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"devigo/internal/grid"
 	"devigo/internal/halo"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/perfmodel"
 	"devigo/internal/propagators"
 )
@@ -50,6 +51,10 @@ type AutotuneScenario struct {
 	// produced the identical result norm — the invariance the in-place
 	// tuner relies on.
 	BitExact bool `json:"bit_exact"`
+	// Obs is the scenario's metrics-registry snapshot: its decision log
+	// records what the policies considered, and its regret prices the
+	// search policy's pick against its own measured trials.
+	Obs obs.Metrics `json:"obs"`
 }
 
 // AutotuneReport is the BENCH_autotune.json schema: chosen-vs-exhaustive-
@@ -122,6 +127,8 @@ func runAutotuneExp(models []string, sos []int, size, nt int, outDir string) err
 }
 
 func runAutotuneScenario(sc autotuneScenario, size, so, nt int) (*AutotuneScenario, error) {
+	obs.EnableMetrics()
+	obs.Reset()
 	shape := []int{size, size}
 	block := &AutotuneScenario{
 		Name: sc.name, Shape: shape, SpaceOrder: so, NT: nt, Ranks: sc.ranks,
@@ -203,6 +210,7 @@ func runAutotuneScenario(sc autotuneScenario, size, so, nt int) (*AutotuneScenar
 			block.Chosen[policy].RatioVsBest)
 	}
 	block.BitExact = bitExact
+	block.Obs = obs.Snapshot()
 	return block, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"devigo/internal/core"
+	"devigo/internal/obs"
 	"devigo/internal/propagators"
 )
 
@@ -34,6 +35,9 @@ type ExecReport struct {
 	Engines    map[string]EngineMetrics `json:"engines"`
 	// SpeedupBytecode is bytecode GPts/s over interpreter GPts/s.
 	SpeedupBytecode float64 `json:"speedup_bytecode_over_interpreter"`
+	// Obs is the metrics-registry snapshot covering both engines' runs
+	// (steady/warmup step split, traffic counters, instruction gauge).
+	Obs obs.Metrics `json:"obs"`
 }
 
 // runExec measures the *real* executor (not the performance model) on
@@ -58,6 +62,8 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 	fmt.Printf("Measured execution, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
 	fmt.Printf("%-14s %14s %14s %10s\n", "scenario", "interp GPts/s", "bytec GPts/s", "speedup")
 	for _, model := range models {
+		obs.EnableMetrics()
+		obs.Reset()
 		report := ExecReport{
 			Scenario:   model,
 			Shape:      []int{size, size},
@@ -84,6 +90,7 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 				Config:         eff,
 			}
 		}
+		report.Obs = obs.Snapshot()
 		gi := report.Engines[core.EngineInterpreter].GPtss
 		gb := report.Engines[core.EngineBytecode].GPtss
 		if gi > 0 {

@@ -46,6 +46,20 @@
 //
 //	devigo-bench -exp autotune -model acoustic -size 128 -nt 16 -out .
 //
+// -exp observatory runs the continuous perf observatory: a compact
+// measured sweep (scenario x ranks x halo mode x exchange interval),
+// appended to a stored run history with regression detection against the
+// median of recent same-host runs, plus a static HTML report (roofline
+// scatter, measured-vs-model communication, autotuner regret):
+//
+//	devigo-bench -exp observatory -out . -history BENCH_history.json
+//
+// -check validates previously-emitted BENCH_*.json files against the
+// repository's perf/correctness gates (the CI gates, in Go instead of
+// jq) and exits non-zero on any violation:
+//
+//	devigo-bench -check -dir /tmp/bench -only exec,adjoint
+//
 // Every experiment reports failures through the process exit status so CI
 // gates can consume the tool directly.
 package main
@@ -58,22 +72,41 @@ import (
 	"strings"
 
 	"devigo/internal/halo"
+	"devigo/internal/obs"
 	"devigo/internal/perfmodel"
 	"devigo/internal/perfreport"
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|observatory|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
 	size := flag.Int("size", 256, "exec/adjoint: square grid extent per side")
 	nt := flag.Int("nt", 30, "exec/adjoint: timesteps to measure")
 	ckpt := flag.Int("ckpt", 0, "adjoint: checkpoint interval (0 = sqrt(nt))")
-	out := flag.String("out", ".", "exec/adjoint: directory for BENCH_*.json")
+	out := flag.String("out", ".", "exec/adjoint/observatory: directory for BENCH_*.json")
+	check := flag.Bool("check", false, "validate BENCH_*.json gates in -dir instead of running an experiment")
+	dir := flag.String("dir", ".", "check: directory holding the BENCH_*.json files")
+	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile)")
+	history := flag.String("history", "", "observatory: run-history JSON path (default <out>/BENCH_history.json)")
+	regressWarn := flag.Bool("regress-warn", false, "observatory: report regressions as warnings instead of failing")
 	flag.Parse()
 
-	if err := run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *out); err != nil {
+	err := func() error {
+		if *check {
+			models := []string{*model}
+			if *model == "all" {
+				models = []string{"acoustic", "elastic", "tti", "viscoelastic"}
+			}
+			return runCheck(*dir, *only, models)
+		}
+		return run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *out, *history, *regressWarn)
+	}()
+	if ferr := obs.FlushEnv(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "devigo-bench:", err)
 		os.Exit(1)
 	}
@@ -81,7 +114,7 @@ func main() {
 
 // run dispatches one experiment; any failure propagates to a non-zero
 // exit so CI jobs consuming the tool can actually fail.
-func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error {
+func run(exp, model, arch, soFlag string, size, nt, ckpt int, out, history string, regressWarn bool) error {
 	sos, err := parseSOs(soFlag)
 	if err != nil {
 		return err
@@ -119,6 +152,8 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error 
 		return runAutotuneExp(models, sos, size, nt, out)
 	case "timetile":
 		return runTimetile(models, sos, size, nt, out)
+	case "observatory":
+		return runObservatory(out, history, regressWarn)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}
@@ -131,7 +166,10 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out string) error 
 		if err := runWeak(all, sos, both); err != nil {
 			return err
 		}
-		return runSelectMode([]int{8})
+		if err := runSelectMode([]int{8}); err != nil {
+			return err
+		}
+		return runObservatory(out, history, regressWarn)
 	}
 	return fmt.Errorf("unknown experiment %q", exp)
 }

@@ -1,0 +1,432 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/obs"
+	"devigo/internal/perfreport"
+	"devigo/internal/propagators"
+)
+
+// ObsHost fingerprints the machine a sweep ran on; regression baselines
+// only compare runs with identical fingerprints, so a laptop run never
+// gates against a CI-runner history.
+type ObsHost struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	MaxProcs  int    `json:"maxprocs"`
+	NumCPU    int    `json:"numcpu"`
+	GoVersion string `json:"go_version"`
+}
+
+func hostFingerprint() ObsHost {
+	return ObsHost{
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Key collapses the fingerprint into the string history entries are
+// matched on.
+func (h ObsHost) Key() string {
+	return fmt.Sprintf("%s/%s/p%d/c%d/%s", h.OS, h.Arch, h.MaxProcs, h.NumCPU, h.GoVersion)
+}
+
+// ObsRun is one measured sweep point of the observatory.
+type ObsRun struct {
+	// Name keys the run in the history ("acoustic r4 diag k4").
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	Ranks    int    `json:"ranks"`
+	// Mode / K are the halo pattern and exchange interval (empty / 0 when
+	// serial).
+	Mode string `json:"mode,omitempty"`
+	K    int    `json:"k,omitempty"`
+	Size int    `json:"size"`
+	NT   int    `json:"nt"`
+	// Gptss is the measured steady-state throughput; Seconds the slowest
+	// rank's compute+halo time.
+	Gptss   float64 `json:"gptss"`
+	Seconds float64 `json:"seconds"`
+	// AI and GFlops place the run on the roofline: operational intensity
+	// (flop/byte, from the kernel characterization) against achieved
+	// flop rate (measured GPts/s x flops/point).
+	AI            float64 `json:"ai"`
+	GFlops        float64 `json:"gflops"`
+	FlopsPerPoint int     `json:"flops_per_point"`
+	// Measured* are the obs counters' per-rank-per-step traffic; Model*
+	// the CommStats closed-form predictions. The sweep runs on a fully
+	// periodic topology (every rank interior), where the two must agree.
+	MeasuredMsgsPerStep  float64 `json:"measured_msgs_per_step,omitempty"`
+	MeasuredBytesPerStep float64 `json:"measured_bytes_per_step,omitempty"`
+	ModelMsgsPerStep     float64 `json:"model_msgs_per_step,omitempty"`
+	ModelBytesPerStep    float64 `json:"model_bytes_per_step,omitempty"`
+	// RecvWaitSec is the world-total receive-wait time.
+	RecvWaitSec float64 `json:"recv_wait_sec,omitempty"`
+	// Tuned marks autotuned (search-policy) runs; Regret is their
+	// chosen-vs-best-measured-trial gap.
+	Tuned  bool    `json:"tuned,omitempty"`
+	Regret float64 `json:"autotune_regret,omitempty"`
+	// Decisions is the tuner's decision log for tuned runs.
+	Decisions []obs.Decision `json:"autotune_decisions,omitempty"`
+}
+
+// ObsBaseline is one run's comparison against the stored same-host
+// history.
+type ObsBaseline struct {
+	Run string `json:"run"`
+	// Gptss is the current measurement; Baseline the median of the last
+	// (up to) 5 same-fingerprint history entries; Samples how many fed it.
+	Gptss    float64 `json:"gptss"`
+	Baseline float64 `json:"baseline,omitempty"`
+	Samples  int     `json:"samples"`
+	// Ratio is Gptss/Baseline (0 without a baseline); Regressed marks
+	// ratio < regressThreshold.
+	Ratio     float64 `json:"ratio,omitempty"`
+	Regressed bool    `json:"regressed"`
+}
+
+// ObservatoryReport is the BENCH_observatory.json schema.
+type ObservatoryReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	Host        ObsHost       `json:"host"`
+	Runs        []ObsRun      `json:"runs"`
+	Baselines   []ObsBaseline `json:"baselines"`
+	// Regressions counts baselined runs that fell below the threshold.
+	Regressions int `json:"regressions"`
+	// HistoryEntries is the history length after appending this sweep.
+	HistoryEntries int `json:"history_entries"`
+}
+
+// HistoryEntry is one stored sweep: a timestamp, the host fingerprint
+// and the per-run throughputs.
+type HistoryEntry struct {
+	Time  string             `json:"time"`
+	Host  ObsHost            `json:"host"`
+	Gptss map[string]float64 `json:"gptss"`
+}
+
+// History is the BENCH_history.json schema — the observatory's stored
+// run record, bounded to historyCap entries.
+type History struct {
+	Entries []HistoryEntry `json:"entries"`
+}
+
+const (
+	// regressThreshold fails a run measuring below this fraction of its
+	// same-host baseline median (>15% slowdown).
+	regressThreshold = 0.85
+	// baselineWindow is how many recent same-host entries feed the median.
+	baselineWindow = 5
+	// historyCap bounds the stored history.
+	historyCap = 100
+)
+
+// runObservatory executes the continuous-perf sweep: measure every
+// configured scenario x ranks x mode x interval point, compare against
+// the same-host history, persist history + report + HTML, and fail on
+// regression unless regressWarn downgrades it to a warning (the first
+// run on a host has no baseline and only warns).
+func runObservatory(outDir, historyPath string, regressWarn bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if historyPath == "" {
+		historyPath = filepath.Join(outDir, "BENCH_history.json")
+	}
+	host := hostFingerprint()
+	fmt.Printf("Perf observatory sweep on %s\n", host.Key())
+
+	runs, err := observatorySweep()
+	if err != nil {
+		return err
+	}
+
+	hist, err := loadHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	report := ObservatoryReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        host,
+		Runs:        runs,
+	}
+	for _, r := range runs {
+		b := baselineOf(hist, host, r.Name, r.Gptss)
+		report.Baselines = append(report.Baselines, b)
+		if b.Regressed {
+			report.Regressions++
+		}
+	}
+
+	entry := HistoryEntry{Time: report.GeneratedAt, Host: host, Gptss: map[string]float64{}}
+	for _, r := range runs {
+		entry.Gptss[r.Name] = r.Gptss
+	}
+	hist.Entries = append(hist.Entries, entry)
+	if len(hist.Entries) > historyCap {
+		hist.Entries = hist.Entries[len(hist.Entries)-historyCap:]
+	}
+	report.HistoryEntries = len(hist.Entries)
+	if err := writeJSON(historyPath, &hist); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(outDir, "BENCH_observatory.json"), &report); err != nil {
+		return err
+	}
+	htmlPath := filepath.Join(outDir, "observatory.html")
+	if err := os.WriteFile(htmlPath, []byte(observatoryHTML(&report, &hist)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s, %s, %s\n", filepath.Join(outDir, "BENCH_observatory.json"), historyPath, htmlPath)
+
+	baselined := 0
+	for _, b := range report.Baselines {
+		if b.Samples > 0 {
+			baselined++
+			state := "ok"
+			if b.Regressed {
+				state = "REGRESSED"
+			}
+			fmt.Printf("  %-28s %8.4f GPts/s  baseline %8.4f (x%.2f, %d samples)  %s\n",
+				b.Run, b.Gptss, b.Baseline, b.Ratio, b.Samples, state)
+		}
+	}
+	if baselined == 0 {
+		fmt.Println("  no same-host baseline yet (first observatory run on this fingerprint): recording only")
+	}
+	if report.Regressions > 0 {
+		msg := fmt.Errorf("%d run(s) regressed >%d%% below the same-host baseline median",
+			report.Regressions, int((1-regressThreshold)*100))
+		if regressWarn {
+			fmt.Println("  WARNING:", msg)
+			return nil
+		}
+		return msg
+	}
+	return nil
+}
+
+// observatorySweep measures every sweep point. Serial points carry the
+// roofline placement; 4-rank periodic points carry the measured-vs-model
+// traffic; tuned points carry the decision log and regret.
+func observatorySweep() ([]ObsRun, error) {
+	var runs []ObsRun
+	for _, model := range []string{"acoustic", "elastic"} {
+		r, err := observatorySerial(model, 128, 12, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", model, err)
+		}
+		runs = append(runs, r)
+		// The tuned run needs headroom past the search budget (warmup +
+		// trials) so steady-state steps remain for the throughput figure.
+		t, err := observatorySerial(model, 128, 32, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s tuned: %w", model, err)
+		}
+		runs = append(runs, t)
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			for _, k := range []int{1, 4} {
+				r, err := observatoryDMP(model, mode, 64, 8, k)
+				if err != nil {
+					return nil, fmt.Errorf("%s r4 %s k=%d: %w", model, mode, k, err)
+				}
+				runs = append(runs, r)
+			}
+		}
+	}
+	return runs, nil
+}
+
+// observatorySerial measures one serial run; tuned runs use the search
+// autotune policy and keep the decision log.
+func observatorySerial(model string, size, nt int, tuned bool) (ObsRun, error) {
+	obs.EnableMetrics()
+	obs.Reset()
+	m, err := propagators.Build(model, propagators.Config{
+		Shape: []int{size, size}, SpaceOrder: 4, NBL: 8, Velocity: 1.5,
+	})
+	if err != nil {
+		return ObsRun{}, err
+	}
+	rc := propagators.RunConfig{NT: nt}
+	name := model + " serial"
+	if tuned {
+		rc.Autotune = core.AutotuneSearch
+		name = model + " tuned"
+	}
+	res, err := propagators.Run(m, nil, rc)
+	if err != nil {
+		return ObsRun{}, err
+	}
+	kc, err := perfreport.Characterize(model, 4)
+	if err != nil {
+		return ObsRun{}, err
+	}
+	snap := obs.Snapshot()
+	out := ObsRun{
+		Name: name, Scenario: model, Ranks: 1, Size: size, NT: nt,
+		Gptss:         res.Perf.GPtss(),
+		Seconds:       res.Perf.ComputeSeconds + res.Perf.HaloSeconds,
+		AI:            kc.OperationalIntensity(),
+		FlopsPerPoint: res.Perf.FlopsPerPoint,
+		Tuned:         tuned,
+	}
+	out.GFlops = out.Gptss * float64(out.FlopsPerPoint)
+	if tuned {
+		out.Regret = snap.Regret
+		out.Decisions = snap.Decisions
+	}
+	if out.Gptss <= 0 {
+		return out, fmt.Errorf("degenerate throughput")
+	}
+	return out, nil
+}
+
+// observatoryDMP measures one 4-rank run on a fully periodic topology
+// (every rank interior, so the closed-form traffic model applies exactly)
+// and records both the measured obs counters and the model prediction.
+func observatoryDMP(model string, mode halo.Mode, size, nt, k int) (ObsRun, error) {
+	obs.EnableMetrics()
+	obs.Reset()
+	const ranks = 4
+	shape := []int{size, size}
+	var stats core.CommStats
+	var gptss, seconds float64
+	errs := make([]error, ranks)
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, []bool{true, true})
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		cfg := propagators.Config{Shape: shape, SpaceOrder: 4, NBL: 2,
+			Velocity: 1.5, Decomp: dec, Rank: c.Rank()}
+		m, err := propagators.Build(model, cfg)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := propagators.Run(m, ctx, propagators.RunConfig{NT: nt, TimeTile: k, Workers: 1})
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		sec := res.Perf.ComputeSeconds + res.Perf.HaloSeconds
+		sec = c.AllreduceScalar(sec, mpi.OpMax)
+		pts := c.AllreduceScalar(float64(res.Perf.PointsUpdated), mpi.OpSum)
+		if c.Rank() == 0 {
+			stats = res.Op.CommStats()
+			seconds = sec
+			if sec > 0 {
+				gptss = pts / sec / 1e9
+			}
+		}
+	})
+	if err != nil {
+		return ObsRun{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return ObsRun{}, e
+		}
+	}
+	kc, err := perfreport.Characterize(model, 4)
+	if err != nil {
+		return ObsRun{}, err
+	}
+	total := obs.Snapshot().Total
+	perStep := float64(nt) * ranks
+	out := ObsRun{
+		Name:     fmt.Sprintf("%s r%d %s k%d", model, ranks, mode, k),
+		Scenario: model, Ranks: ranks, Mode: mode.String(), K: k,
+		Size: size, NT: nt,
+		Gptss: gptss, Seconds: seconds,
+		AI:                   kc.OperationalIntensity(),
+		MeasuredMsgsPerStep:  float64(total.StepMsgs) / perStep,
+		MeasuredBytesPerStep: float64(total.StepBytes) / perStep,
+		ModelMsgsPerStep:     stats.MsgsPerStep,
+		ModelBytesPerStep:    stats.BytesPerStep,
+		RecvWaitSec:          float64(total.RecvWaitNs) / 1e9,
+	}
+	if gptss <= 0 {
+		return out, fmt.Errorf("degenerate throughput")
+	}
+	return out, nil
+}
+
+// baselineOf computes one run's same-host baseline: the median Gptss of
+// its last baselineWindow same-fingerprint history entries.
+func baselineOf(hist History, host ObsHost, run string, gptss float64) ObsBaseline {
+	b := ObsBaseline{Run: run, Gptss: gptss}
+	var vals []float64
+	for i := len(hist.Entries) - 1; i >= 0 && len(vals) < baselineWindow; i-- {
+		e := hist.Entries[i]
+		if e.Host.Key() != host.Key() {
+			continue
+		}
+		if v, ok := e.Gptss[run]; ok && v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	b.Samples = len(vals)
+	if len(vals) == 0 {
+		return b
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		b.Baseline = vals[mid]
+	} else {
+		b.Baseline = (vals[mid-1] + vals[mid]) / 2
+	}
+	if b.Baseline > 0 {
+		b.Ratio = gptss / b.Baseline
+		b.Regressed = b.Ratio < regressThreshold
+	}
+	return b
+}
+
+func loadHistory(path string) (History, error) {
+	var h History
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return h, nil
+	}
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		return h, fmt.Errorf("%s: %w (delete it to start a fresh history)", path, err)
+	}
+	return h, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

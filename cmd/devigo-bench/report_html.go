@@ -1,0 +1,352 @@
+package main
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"devigo/internal/perfmodel"
+)
+
+// The observatory's static HTML report. Everything is emitted inline —
+// no external assets, no scripts beyond native SVG tooltips — so the
+// file works as a CI artifact opened straight from a download. Chart
+// styling follows the repository's data-viz conventions: a validated
+// 2-slot categorical palette (blue/orange, with distinct steps for dark
+// mode), thin marks with rounded data-ends, hairline solid gridlines,
+// text in ink tokens (never series colors), a legend for multi-series
+// charts, and a table view under every chart so no value is gated on
+// color or hover.
+
+// observatoryHTML renders the full report.
+func observatoryHTML(r *ObservatoryReport, hist *History) string {
+	var b strings.Builder
+	b.WriteString(htmlHead)
+	fmt.Fprintf(&b, `<header><h1>devigo perf observatory</h1>
+<p class="sub">generated %s · host %s · history depth %d</p></header>
+`, html.EscapeString(r.GeneratedAt), html.EscapeString(r.Host.Key()), r.HistoryEntries)
+
+	writeKPIRow(&b, r)
+	writeRoofline(&b, r)
+	writeCommChart(&b, r)
+	writeAutotune(&b, r)
+	writeBaselines(&b, r)
+
+	b.WriteString("</main></body></html>\n")
+	return b.String()
+}
+
+const htmlHead = `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width,initial-scale=1">
+<title>devigo perf observatory</title>
+<style>
+.viz-root, body {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --status-good: #006300; --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) body {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+    --status-good: #0ca30c; --status-critical: #d03b3b;
+  }
+}
+body { margin: 0; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+main, header { max-width: 960px; margin: 0 auto; padding: 0 20px; }
+header { padding-top: 28px; }
+h1 { font-size: 22px; margin: 0 0 2px; }
+h2 { font-size: 16px; margin: 0 0 2px; }
+.sub { color: var(--ink-2); margin: 0; font-size: 13px; }
+section.card { background: var(--surface-1); border: 1px solid var(--ring);
+  border-radius: 10px; padding: 16px 18px 12px; margin: 18px 0; }
+.kpis { display: flex; gap: 14px; flex-wrap: wrap; margin-top: 18px; }
+.kpi { flex: 1 1 150px; background: var(--surface-1); border: 1px solid var(--ring);
+  border-radius: 10px; padding: 12px 16px; }
+.kpi .label { color: var(--ink-2); font-size: 12px; }
+.kpi .value { font-size: 26px; font-weight: 600; }
+.kpi .note { color: var(--ink-muted); font-size: 12px; }
+.good { color: var(--status-good); } .bad { color: var(--status-critical); }
+svg { display: block; max-width: 100%; height: auto; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; fill: var(--ink-muted); }
+svg text.val { fill: var(--ink-2); }
+.legend { display: flex; gap: 16px; color: var(--ink-2); font-size: 12px;
+  margin: 4px 0 8px; align-items: center; }
+.legend .key { display: inline-block; width: 10px; height: 10px; border-radius: 3px;
+  margin-right: 5px; vertical-align: -1px; }
+table { border-collapse: collapse; width: 100%; margin: 8px 0 4px; font-size: 12.5px; }
+th { text-align: left; color: var(--ink-2); font-weight: 600; }
+th, td { padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+details > summary { cursor: pointer; color: var(--ink-2); font-size: 12.5px; margin-top: 6px; }
+</style></head><body><main>
+`
+
+// writeKPIRow emits the headline stat tiles.
+func writeKPIRow(b *strings.Builder, r *ObservatoryReport) {
+	best := ObsRun{}
+	regret, tuned := 0.0, false
+	for _, run := range r.Runs {
+		if run.Gptss > best.Gptss {
+			best = run
+		}
+		if run.Tuned {
+			tuned = true
+			if run.Regret > regret {
+				regret = run.Regret
+			}
+		}
+	}
+	fmt.Fprintf(b, `<div class="kpis">
+<div class="kpi"><div class="label">Sweep runs</div><div class="value">%d</div><div class="note">scenario × ranks × mode × k</div></div>
+<div class="kpi"><div class="label">Best throughput</div><div class="value">%.3f</div><div class="note">GPts/s · %s</div></div>
+`, len(r.Runs), best.Gptss, html.EscapeString(best.Name))
+	if r.Regressions > 0 {
+		fmt.Fprintf(b, `<div class="kpi"><div class="label">Regressions</div><div class="value bad">▲ %d</div><div class="note">&gt;15%% below same-host baseline</div></div>
+`, r.Regressions)
+	} else {
+		fmt.Fprintf(b, `<div class="kpi"><div class="label">Regressions</div><div class="value good">✓ 0</div><div class="note">vs same-host baseline median</div></div>
+`)
+	}
+	if tuned {
+		fmt.Fprintf(b, `<div class="kpi"><div class="label">Autotune regret</div><div class="value">%.1f%%</div><div class="note">worst chosen-vs-best trial gap</div></div>
+`, regret*100)
+	}
+	b.WriteString("</div>\n")
+}
+
+// niceTicks picks ~n clean tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0, 1}
+	}
+	raw := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag >= 5:
+		step = 10 * mag
+	case raw/mag >= 2:
+		step = 5 * mag
+	case raw/mag >= 1:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	var ticks []float64
+	for v := 0.0; v <= max+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// writeRoofline emits the roofline scatter: serial runs placed by
+// operational intensity against achieved GFLOP/s, with the autotuner
+// host model's DRAM-bandwidth bound as a muted reference diagonal.
+// Single series, so the points are direct-labeled and need no legend.
+func writeRoofline(b *strings.Builder, r *ObservatoryReport) {
+	var pts []ObsRun
+	maxX, maxY := 0.0, 0.0
+	for _, run := range r.Runs {
+		if run.Ranks == 1 && run.GFlops > 0 {
+			pts = append(pts, run)
+			maxX = math.Max(maxX, run.AI)
+			maxY = math.Max(maxY, run.GFlops)
+		}
+	}
+	if len(pts) == 0 {
+		return
+	}
+	bw := perfmodel.DefaultHost().MemBandwidth / 1e9 // GB/s
+	maxY = math.Max(maxY, math.Min(maxX*bw, maxY*2))
+	const W, H = 640, 300
+	const L, R, T, B = 54, 16, 14, 40
+	pw, ph := float64(W-L-R), float64(H-T-B)
+	xticks, yticks := niceTicks(maxX*1.15, 5), niceTicks(maxY*1.15, 5)
+	xmax, ymax := xticks[len(xticks)-1], yticks[len(yticks)-1]
+	X := func(v float64) float64 { return L + v/xmax*pw }
+	Y := func(v float64) float64 { return T + ph - v/ymax*ph }
+
+	b.WriteString(`<section class="card"><h2>Roofline — measured serial kernels</h2>
+<p class="sub">achieved GFLOP/s against operational intensity; diagonal = autotuner host-model DRAM bound</p>
+`)
+	fmt.Fprintf(b, `<svg viewBox="0 0 %d %d" role="img" aria-label="Roofline scatter of measured serial kernel performance">`, W, H)
+	for _, v := range yticks {
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="var(--grid)" stroke-width="1"/>`, L, Y(v), W-R, Y(v))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`, L-6, Y(v)+4, trimNum(v))
+	}
+	for _, v := range xticks {
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, X(v), H-B+16, trimNum(v))
+	}
+	// Axis baselines, then the bandwidth bound clipped to the plot.
+	fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="var(--axis)" stroke-width="1"/>`, L, Y(0), W-R, Y(0))
+	xEnd := math.Min(xmax, ymax/bw)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="var(--axis)" stroke-width="1" stroke-linecap="round"/>`,
+		X(0), Y(0), X(xEnd), Y(xEnd*bw))
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="end">DRAM bound %.0f GB/s</text>`,
+		X(xEnd)-4, Y(xEnd*bw)+14, bw)
+	for _, p := range pts {
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="6" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"><title>%s: AI %.2f F/B, %.2f GFLOP/s (%.3f GPts/s)</title></circle>`,
+			X(p.AI), Y(p.GFlops), html.EscapeString(p.Name), p.AI, p.GFlops, p.Gptss)
+		fmt.Fprintf(b, `<text class="val" x="%.1f" y="%.1f">%s</text>`,
+			X(p.AI)+9, Y(p.GFlops)+4, html.EscapeString(p.Name))
+	}
+	fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">operational intensity (flop/byte)</text>`, L+pw/2, H-6)
+	fmt.Fprintf(b, `<text transform="translate(12,%.1f) rotate(-90)" text-anchor="middle">GFLOP/s</text>`, T+ph/2)
+	b.WriteString("</svg>\n")
+
+	b.WriteString(`<details><summary>Table view</summary><table>
+<tr><th>run</th><th class="num">AI (F/B)</th><th class="num">GFLOP/s</th><th class="num">GPts/s</th><th class="num">flops/point</th></tr>`)
+	for _, p := range pts {
+		fmt.Fprintf(b, `<tr><td>%s</td><td class="num">%.2f</td><td class="num">%.2f</td><td class="num">%.4f</td><td class="num">%d</td></tr>`,
+			html.EscapeString(p.Name), p.AI, p.GFlops, p.Gptss, p.FlopsPerPoint)
+	}
+	b.WriteString("</table></details></section>\n")
+}
+
+// writeCommChart emits the measured-vs-model communication chart:
+// grouped bars (two series, legend present) of per-rank per-step halo
+// bytes for every 4-rank sweep point. On the periodic sweep topology the
+// pairs must coincide — visible daylight between a group's bars is a
+// model bug.
+func writeCommChart(b *strings.Builder, r *ObservatoryReport) {
+	var runs []ObsRun
+	maxV := 0.0
+	for _, run := range r.Runs {
+		if run.Ranks > 1 {
+			runs = append(runs, run)
+			maxV = math.Max(maxV, math.Max(run.MeasuredBytesPerStep, run.ModelBytesPerStep))
+		}
+	}
+	if len(runs) == 0 {
+		return
+	}
+	const barW, gap, groupGap = 12, 2, 16
+	groupW := 2*barW + gap
+	const L, R, T, B = 54, 16, 14, 46
+	W := L + R + len(runs)*(groupW+groupGap)
+	const H = 300
+	ph := float64(H - T - B)
+	yticks := niceTicks(maxV/1024*1.1, 5) // KB axis
+	ymax := yticks[len(yticks)-1] * 1024
+	Y := func(v float64) float64 { return T + ph - v/ymax*ph }
+
+	b.WriteString(`<section class="card"><h2>Halo traffic — measured vs model</h2>
+<p class="sub">per-rank per-step exchanged bytes, 4-rank periodic sweep; the obs counters must match the closed-form prediction</p>
+<div class="legend"><span><span class="key" style="background:var(--series-1)"></span>measured (obs counters)</span>
+<span><span class="key" style="background:var(--series-2)"></span>model (CommStats)</span></div>
+`)
+	fmt.Fprintf(b, `<svg viewBox="0 0 %d %d" role="img" aria-label="Measured versus modelled halo bytes per step">`, W, H)
+	for _, v := range yticks {
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="var(--grid)" stroke-width="1"/>`, L, Y(v*1024), W-R, Y(v*1024))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`, L-6, Y(v*1024)+4, trimNum(v))
+	}
+	bar := func(x, v float64, color, tip string) {
+		y := Y(v)
+		h := T + ph - y
+		if h < 4 {
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s</title></rect>`,
+				x, y, barW, h, color, tip)
+			return
+		}
+		fmt.Fprintf(b, `<path d="M%.1f %.1f V%.1f Q%.1f %.1f %.1f %.1f H%.1f Q%.1f %.1f %.1f %.1f V%.1f Z" fill="%s"><title>%s</title></path>`,
+			x, T+ph, y+4, x, y, x+4, y, x+barW-4, x+float64(barW), y, x+float64(barW), y+4, T+ph, color, tip)
+	}
+	for i, run := range runs {
+		x := float64(L + i*(groupW+groupGap) + groupGap/2)
+		bar(x, run.MeasuredBytesPerStep, "var(--series-1)",
+			fmt.Sprintf("%s measured: %.0f B/step", html.EscapeString(run.Name), run.MeasuredBytesPerStep))
+		bar(x+barW+gap, run.ModelBytesPerStep, "var(--series-2)",
+			fmt.Sprintf("%s model: %.0f B/step", html.EscapeString(run.Name), run.ModelBytesPerStep))
+		lab := fmt.Sprintf("%s k%d", run.Mode, run.K)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, x+float64(groupW)/2, H-B+14, html.EscapeString(lab))
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`, x+float64(groupW)/2, H-B+27, html.EscapeString(run.Scenario))
+	}
+	fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="var(--axis)" stroke-width="1"/>`, L, Y(0), W-R, Y(0))
+	fmt.Fprintf(b, `<text transform="translate(12,%.1f) rotate(-90)" text-anchor="middle">KB per rank per step</text>`, T+ph/2)
+	b.WriteString("</svg>\n")
+
+	b.WriteString(`<details><summary>Table view</summary><table>
+<tr><th>run</th><th class="num">measured B/step</th><th class="num">model B/step</th><th class="num">measured msgs/step</th><th class="num">model msgs/step</th><th class="num">recv wait (s)</th></tr>`)
+	for _, run := range runs {
+		fmt.Fprintf(b, `<tr><td>%s</td><td class="num">%.0f</td><td class="num">%.0f</td><td class="num">%.2f</td><td class="num">%.2f</td><td class="num">%.4f</td></tr>`,
+			html.EscapeString(run.Name), run.MeasuredBytesPerStep, run.ModelBytesPerStep,
+			run.MeasuredMsgsPerStep, run.ModelMsgsPerStep, run.RecvWaitSec)
+	}
+	b.WriteString("</table></details></section>\n")
+}
+
+// writeAutotune emits the tuner section: per-tuned-run regret and the
+// full decision log (a table — the values are the story, not a shape).
+func writeAutotune(b *strings.Builder, r *ObservatoryReport) {
+	var tuned []ObsRun
+	for _, run := range r.Runs {
+		if run.Tuned {
+			tuned = append(tuned, run)
+		}
+	}
+	if len(tuned) == 0 {
+		return
+	}
+	b.WriteString(`<section class="card"><h2>Autotuner decisions</h2>
+<p class="sub">search-policy trial log per tuned run; regret is the chosen configuration's gap over the best measured trial</p>
+<table><tr><th>run</th><th>policy</th><th>configuration</th><th class="num">predicted ms/step</th><th class="num">measured ms/step</th><th>chosen</th></tr>`)
+	for _, run := range tuned {
+		for _, d := range run.Decisions {
+			chosen := ""
+			if d.Chosen {
+				chosen = "✓"
+			}
+			measured := "—"
+			if d.MeasuredSec > 0 {
+				measured = fmt.Sprintf("%.3f", d.MeasuredSec*1e3)
+			}
+			fmt.Fprintf(b, `<tr><td>%s</td><td>%s</td><td>%s</td><td class="num">%.3f</td><td class="num">%s</td><td>%s</td></tr>`,
+				html.EscapeString(run.Name), html.EscapeString(d.Policy),
+				html.EscapeString(d.Config), d.PredictedSec*1e3, measured, chosen)
+		}
+		fmt.Fprintf(b, `<tr><td colspan="4"></td><td class="num"><strong>regret %.1f%%</strong></td><td></td></tr>`,
+			run.Regret*100)
+	}
+	b.WriteString("</table></section>\n")
+}
+
+// writeBaselines emits the regression table: current throughput against
+// the same-host baseline median. The table is the canonical view; status
+// is carried by icon + label, never color alone.
+func writeBaselines(b *strings.Builder, r *ObservatoryReport) {
+	b.WriteString(`<section class="card"><h2>Same-host baselines</h2>
+<p class="sub">current GPts/s vs the median of the last 5 same-fingerprint history entries; &gt;15% below fails CI</p>
+<table><tr><th>run</th><th class="num">GPts/s</th><th class="num">baseline</th><th class="num">ratio</th><th class="num">samples</th><th>status</th></tr>`)
+	for _, bl := range r.Baselines {
+		base, ratio := "—", "—"
+		status := `<span class="sub">no baseline yet</span>`
+		if bl.Samples > 0 {
+			base = fmt.Sprintf("%.4f", bl.Baseline)
+			ratio = fmt.Sprintf("%.2f", bl.Ratio)
+			if bl.Regressed {
+				status = `<span class="bad">▲ regressed</span>`
+			} else {
+				status = `<span class="good">✓ ok</span>`
+			}
+		}
+		fmt.Fprintf(b, `<tr><td>%s</td><td class="num">%.4f</td><td class="num">%s</td><td class="num">%s</td><td class="num">%d</td><td>%s</td></tr>`,
+			html.EscapeString(bl.Run), bl.Gptss, base, ratio, bl.Samples, status)
+	}
+	b.WriteString("</table></section>\n")
+}

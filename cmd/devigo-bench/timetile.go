@@ -10,6 +10,7 @@ import (
 	"devigo/internal/grid"
 	"devigo/internal/halo"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/propagators"
 )
 
@@ -63,6 +64,9 @@ type TimeTileScenario struct {
 	// SpeedupBestK is the best swept interval's time over the k=1 time.
 	SpeedupBestK float64          `json:"speedup_best_k_over_k1"`
 	Autotune     TimeTileAutotune `json:"autotune"`
+	// Obs is the scenario's metrics-registry snapshot across the whole
+	// sweep (measured traffic, redundant shell points, recv-wait time).
+	Obs obs.Metrics `json:"obs"`
 }
 
 // TimeTileReport is the BENCH_timetile.json schema: the
@@ -125,6 +129,8 @@ func runTimetile(models []string, sos []int, size, nt int, outDir string) error 
 }
 
 func runTimetileScenario(name, model string, size, so, nt int, ks []int) (*TimeTileScenario, error) {
+	obs.EnableMetrics()
+	obs.Reset()
 	shape := []int{size, size}
 	const ranks = 4
 	mode := halo.ModeDiagonal
@@ -195,6 +201,7 @@ func runTimetileScenario(name, model string, size, so, nt int, ks []int) (*TimeT
 	if !block.Autotune.BitExact {
 		return nil, fmt.Errorf("autotuned runs diverged from the k=1 reference")
 	}
+	block.Obs = obs.Snapshot()
 	return block, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"devigo/internal/grid"
 	"devigo/internal/halo"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/propagators"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		res, err := propagators.Run(m, nil, propagators.RunConfig{NT: *nt, NReceivers: *nrec})
 		fail(err)
 		report("serial", res)
+		fail(obs.FlushEnv())
 		return
 	}
 
@@ -102,6 +104,9 @@ func main() {
 		}
 	})
 	fail(err)
+	// One flush for the whole world: the per-rank recorders are global, so
+	// the trace holds every rank's spans (one Perfetto process per rank).
+	fail(obs.FlushEnv())
 }
 
 func report(label string, res *propagators.RunResult) {

@@ -43,6 +43,7 @@ import (
 	"devigo/internal/grid"
 	"devigo/internal/halo"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/symbolic"
 )
 
@@ -90,18 +91,23 @@ type DMPConfig struct {
 // RunDMP spawns an in-process MPI world and runs f once per rank — the
 // devigo equivalent of launching the unmodified script under mpirun. The
 // body receives the rank's Env; grids created through env.NewGrid are
-// domain-decomposed automatically.
+// domain-decomposed automatically. After the world completes, any
+// observability outputs requested through the environment (DEVIGO_TRACE,
+// DEVIGO_METRICS) are flushed once for all ranks.
 func RunDMP(cfg DMPConfig, f func(env *Env) error) error {
 	mode, err := halo.ParseMode(cfg.Mode)
 	if err != nil {
 		return err
 	}
 	w := mpi.NewWorld(cfg.Ranks)
-	return w.Run(func(c *mpi.Comm) {
+	if err := w.Run(func(c *mpi.Comm) {
 		if err := f(&Env{comm: c, mode: mode}); err != nil {
 			panic(err)
 		}
-	})
+	}); err != nil {
+		return err
+	}
+	return obs.FlushEnv()
 }
 
 // Rank returns the calling rank (0 for serial environments).

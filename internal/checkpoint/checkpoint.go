@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"devigo/internal/field"
+	"devigo/internal/obs"
 )
 
 // Store snapshots a set of wavefields during a forward run and serves
@@ -26,6 +27,9 @@ import (
 type Store struct {
 	// Interval is the snapshot spacing in timesteps.
 	Interval int
+	// Rank identifies the owning rank in obs traces/metrics (0 when
+	// serial; the gradient driver sets it under DMP).
+	Rank int
 
 	fields []*field.Function
 	// snaps maps a logical step s to a full copy of every buffer of every
@@ -89,6 +93,11 @@ func (s *Store) SaveIfDue(t int) {
 // Save unconditionally snapshots every buffer of every field under step
 // key t. Saving the same step twice overwrites (idempotent for reruns).
 func (s *Store) Save(t int) {
+	sp := obs.Begin(s.Rank, obs.PhaseCkptSave, t)
+	defer func() {
+		sp.End()
+		obs.Add(s.Rank, obs.CtrCkptSaves, 1)
+	}()
 	_, existed := s.snaps[t]
 	snap := make([][][]float32, len(s.fields))
 	for fi, f := range s.fields {
@@ -114,11 +123,14 @@ func (s *Store) Restore(t int) error {
 	if !ok {
 		return fmt.Errorf("checkpoint: no snapshot at step %d", t)
 	}
+	sp := obs.Begin(s.Rank, obs.PhaseCkptRestore, t)
 	for fi, f := range s.fields {
 		for bi, b := range f.Bufs {
 			copy(b.Data, snap[fi][bi])
 		}
 	}
+	sp.End()
+	obs.Add(s.Rank, obs.CtrCkptRestores, 1)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"devigo/internal/halo"
 	"devigo/internal/ir"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/perfmodel"
 )
 
@@ -169,6 +170,7 @@ func (op *Operator) tileProfile() (stride, streams int) {
 func (op *Operator) autotune(policy string, step func(int), next *int, remaining *int, dir int) error {
 	prof := op.Profile()
 	host := perfmodel.DefaultHost()
+	rank := op.obsRank()
 	if policy == AutotuneModel {
 		plan := perfmodel.Plan(host, prof)
 		if len(plan) == 0 {
@@ -176,6 +178,14 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 		}
 		if err := op.adopt(plan[0]); err != nil {
 			return err
+		}
+		if rank == 0 {
+			obs.RecordDecision(obs.Decision{
+				Policy:       policy,
+				Config:       plan[0].String(),
+				PredictedSec: host.Predict(prof, plan[0]),
+				Chosen:       true,
+			})
 		}
 		op.tuned = true
 		op.tunePolicy = policy
@@ -185,9 +195,12 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 	// step pays first-touch and cache-warming costs that would otherwise
 	// bias the search against whichever candidate happens to go first.
 	if *remaining > tuneStepsPerTrial {
+		sp := obs.Begin(rank, obs.PhaseWarmup, *next)
 		step(*next)
 		*next += dir
 		*remaining--
+		sp.End()
+		obs.Add(rank, obs.CtrWarmupSteps, 1)
 	}
 	measure := func(cfg perfmodel.ExecConfig) (float64, error) {
 		// Every trial times a whole window and reports the per-step
@@ -214,6 +227,7 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 		// Align the window to a tile head regardless of where the
 		// previous trial stopped.
 		op.tilePos = 0
+		sp := obs.Begin(rank, obs.PhaseAutotuneTrial, *next)
 		t0 := time.Now()
 		for i := 0; i < steps; i++ {
 			step(*next)
@@ -221,6 +235,8 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 			*remaining--
 		}
 		avg := time.Since(t0).Seconds() / float64(steps)
+		sp.End()
+		obs.Add(rank, obs.CtrTrialSteps, int64(steps))
 		if op.ctx != nil && !op.ctx.Serial() {
 			avg = op.ctx.Comm.AllreduceScalar(avg, mpi.OpMax)
 		}
@@ -229,6 +245,20 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 	cfg, trialLog, err := perfmodel.Tune(host, prof, 0, measure)
 	if err != nil {
 		return err
+	}
+	if rank == 0 && obs.Active() {
+		// Log every measured trial with its model prediction; the snapshot
+		// derives the autotuner's regret (chosen vs empirically best) from
+		// these entries.
+		for _, tr := range trialLog {
+			obs.RecordDecision(obs.Decision{
+				Policy:       policy,
+				Config:       tr.Config.String(),
+				PredictedSec: host.Predict(prof, tr.Config),
+				MeasuredSec:  tr.Seconds,
+				Chosen:       tr.Config.String() == cfg.String(),
+			})
+		}
 	}
 	if os.Getenv("DEVIGO_TUNE_DEBUG") != "" && (op.ctx == nil || op.ctx.Comm.Rank() == 0) {
 		for _, tr := range trialLog {

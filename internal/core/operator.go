@@ -16,6 +16,7 @@ import (
 	"devigo/internal/iet"
 	"devigo/internal/ir"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 	"devigo/internal/runtime"
 	"devigo/internal/symbolic"
 )
@@ -102,22 +103,33 @@ type Operator struct {
 }
 
 // Perf accumulates per-section timing, the devigo analogue of
-// DEVITO_LOGGING=BENCH output.
+// DEVITO_LOGGING=BENCH output. ComputeSeconds/HaloSeconds/PointsUpdated/
+// Timesteps cover steady-state execution only: autotune warmup and search
+// trials are split out into the Tune* fields so rate figures are not
+// diluted by the one-off self-configuration cost.
 type Perf struct {
 	ComputeSeconds float64
 	HaloSeconds    float64
 	PointsUpdated  int64
 	Timesteps      int
 	FlopsPerPoint  int
+	// TuneSeconds is the wall time consumed by autotune warmup and search
+	// trials (excluded from the steady-state sections above).
+	TuneSeconds float64
+	// TuneSteps / TunePoints count the timesteps and point updates those
+	// warmup/trial windows executed.
+	TuneSteps  int
+	TunePoints int64
 	// Engine names the execution engine the kernels compiled to
 	// (EngineBytecode or EngineInterpreter).
 	Engine string
 }
 
-// GPtss returns the achieved throughput in gigapoints per second. It is
-// robust to partially populated counters: a NaN or negative section time
-// (a clock glitch, or a caller that only filled one of the two sections)
-// contributes zero rather than poisoning the result.
+// GPtss returns the achieved steady-state throughput in gigapoints per
+// second (autotune warmup/trial steps are excluded — they live in the
+// Tune* counters). It is robust to partially populated counters: a NaN or
+// negative section time (a clock glitch, or a caller that only filled one
+// of the two sections) contributes zero rather than poisoning the result.
 func (p Perf) GPtss() float64 {
 	c, h := p.ComputeSeconds, p.HaloSeconds
 	if math.IsNaN(c) || c < 0 {
@@ -157,6 +169,7 @@ type Options struct {
 // NewOperator compiles equations against field storage. fields must hold
 // every function referenced. ctx may be nil for serial execution.
 func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.Grid, ctx *Context, opts *Options) (*Operator, error) {
+	obs.EnvSetup()
 	name := "Kernel"
 	requestedEngine := ""
 	requestedTile := 0
@@ -317,7 +330,23 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 
 	op.buildExchangers()
 	op.emitCode()
+	if obs.Active() {
+		instrs := 0
+		for _, k := range op.kernels {
+			instrs += k.InstrsPerPoint()
+		}
+		obs.Add(op.obsRank(), obs.CtrInstrsPerPoint, int64(instrs))
+	}
 	return op, nil
+}
+
+// obsRank is the rank identifying this operator's recorder in the obs
+// subsystem (0 when serial).
+func (op *Operator) obsRank() int {
+	if op.ctx != nil && op.ctx.Comm != nil {
+		return op.ctx.Comm.Rank()
+	}
+	return 0
 }
 
 // buildExchangers instantiates one exchanger per exchanged field for the
@@ -492,7 +521,11 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 
 	// Preamble: hoisted exchanges of time-invariant fields, once — the
 	// schedule's own preamble plus the parameters the time-tiling shell
-	// recompute reads in the ghost region.
+	// recompute reads in the ghost region. Their traffic is classified as
+	// preamble (not steady-state) in the obs metrics.
+	rank := op.obsRank()
+	obs.SetPreamble(rank, true)
+	psp := obs.Begin(rank, obs.PhaseExchange, -1)
 	start := time.Now()
 	for _, h := range op.Schedule.Preamble {
 		if ex, ok := op.exchangers[h.Field]; ok {
@@ -507,6 +540,8 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 		}
 	}
 	op.perf.HaloSeconds += time.Since(start).Seconds()
+	psp.End()
+	obs.SetPreamble(rank, false)
 
 	anyField := op.anyField()
 	if anyField == nil {
@@ -528,6 +563,7 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 				if op.useOverlap(si) && op.stepExt[si] == 0 {
 					op.applyOverlap(si, st, t, bound[si], localShape)
 				} else {
+					sp := obs.Begin(rank, obs.PhaseExchange, t)
 					hs := time.Now()
 					for _, h := range st.Halos {
 						if ex, ok := op.exchangers[h.Field]; ok {
@@ -535,11 +571,14 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 						}
 					}
 					op.perf.HaloSeconds += time.Since(hs).Seconds()
+					sp.End()
+					sp = obs.Begin(rank, obs.PhaseCompute, t)
 					cs := time.Now()
 					box := extendedBox(localShape, op.stepExt[si])
 					k.Run(t, box, bound[si], &op.execOpts)
 					op.perf.ComputeSeconds += time.Since(cs).Seconds()
 					op.perf.PointsUpdated += int64(box.Size())
+					sp.End()
 				}
 			}
 		}
@@ -557,10 +596,25 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 		return err
 	}
 	if policy != AutotuneOff && !op.tuned {
+		// Snapshot the counters around self-configuration and move the
+		// delta into the Tune* fields: warmup and trial steps execute real
+		// physics but must not dilute the steady-state rate (GPtss).
+		before := op.perf
 		if err := op.autotune(policy, step, &next, &remaining, dir); err != nil {
 			return err
 		}
+		after := op.perf
+		op.perf.ComputeSeconds = before.ComputeSeconds
+		op.perf.HaloSeconds = before.HaloSeconds
+		op.perf.Timesteps = before.Timesteps
+		op.perf.PointsUpdated = before.PointsUpdated
+		op.perf.TuneSeconds = before.TuneSeconds +
+			(after.ComputeSeconds - before.ComputeSeconds) +
+			(after.HaloSeconds - before.HaloSeconds)
+		op.perf.TuneSteps = before.TuneSteps + (after.Timesteps - before.Timesteps)
+		op.perf.TunePoints = before.TunePoints + (after.PointsUpdated - before.PointsUpdated)
 	}
+	obs.Add(rank, obs.CtrSteadySteps, int64(remaining))
 	for ; remaining > 0; remaining-- {
 		step(next)
 		next += dir
@@ -599,27 +653,36 @@ func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, loca
 // prods between tiles, complete the exchanges, then sweep the remainder
 // of the outer box.
 func (op *Operator) overlapSweep(k execKernel, t int, outer, core runtime.Box, syms []float64, start, progress, finish func()) {
+	rank := op.obsRank()
+	sp := obs.Begin(rank, obs.PhaseExchange, t)
 	hs := time.Now()
 	start()
 	op.perf.HaloSeconds += time.Since(hs).Seconds()
+	sp.End()
 
+	sp = obs.Begin(rank, obs.PhaseCompute, t)
 	cs := time.Now()
 	opts := op.execOpts
 	opts.Progress = progress
 	k.Run(t, core, syms, &opts)
 	op.perf.ComputeSeconds += time.Since(cs).Seconds()
 	op.perf.PointsUpdated += int64(core.Size())
+	sp.End()
 
+	sp = obs.Begin(rank, obs.PhaseExchange, t)
 	ws := time.Now()
 	finish()
 	op.perf.HaloSeconds += time.Since(ws).Seconds()
+	sp.End()
 
+	sp = obs.Begin(rank, obs.PhaseCompute, t)
 	rs := time.Now()
 	for _, rb := range remainderBoxes(outer, core) {
 		k.Run(t, rb, syms, &op.execOpts)
 		op.perf.PointsUpdated += int64(rb.Size())
 	}
 	op.perf.ComputeSeconds += time.Since(rs).Seconds()
+	sp.End()
 }
 
 func (op *Operator) anyField() *field.Function {

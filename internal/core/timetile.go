@@ -10,6 +10,7 @@ import (
 	"devigo/internal/halo"
 	"devigo/internal/iet"
 	"devigo/internal/ir"
+	"devigo/internal/obs"
 	"devigo/internal/runtime"
 )
 
@@ -213,7 +214,10 @@ func (op *Operator) RetargetTimeTile(k int) error {
 		// between timesteps), after Apply's preamble already ran — refresh
 		// the time-invariant ghosts at the new depths right away. The
 		// exchanges are collective, and every rank adopts configurations in
-		// lockstep, so this cannot deadlock or skew.
+		// lockstep, so this cannot deadlock or skew. Like Apply's preamble,
+		// the traffic is classified as once-per-run in the obs metrics.
+		rank := op.obsRank()
+		obs.SetPreamble(rank, true)
 		hs := time.Now()
 		for _, h := range op.Schedule.Preamble {
 			if ex, ok := op.exchangers[h.Field]; ok {
@@ -226,6 +230,7 @@ func (op *Operator) RetargetTimeTile(k int) error {
 			}
 		}
 		op.perf.HaloSeconds += time.Since(hs).Seconds()
+		obs.SetPreamble(rank, false)
 	}
 	op.Tree = op.lowerTree()
 	op.emitCode()
@@ -295,8 +300,10 @@ func (op *Operator) tiledStep(t int, bound [][]float64, localShape []int, remain
 		}
 	}
 	j := op.tilePos
+	rank := op.obsRank()
 	overlap := op.mode == halo.ModeFull && j == 0
 	if j == 0 && !overlap {
+		sp := obs.Begin(rank, obs.PhaseExchange, t)
 		hs := time.Now()
 		for _, h := range p.Halos {
 			if ex, ok := op.tileExchangers[h]; ok {
@@ -304,18 +311,42 @@ func (op *Operator) tiledStep(t int, bound [][]float64, localShape []int, remain
 			}
 		}
 		op.perf.HaloSeconds += time.Since(hs).Seconds()
+		sp.End()
 	}
+	owned := fullBox(localShape)
+	ownedPts := int64(owned.Size())
 	for si := range op.Schedule.Steps {
 		k := op.kernels[si]
 		box := op.shellBox(localShape, j, si)
+		obs.Add(rank, obs.CtrShellPoints, int64(box.Size())-ownedPts)
 		if overlap && si == 0 {
 			op.applyTileOverlap(t, si, box, bound[si], localShape)
 			continue
 		}
+		if obs.TracingEnabled() && box.Size() > owned.Size() {
+			// Split the sweep so the trace separates owned compute from the
+			// redundant shell recompute. Per-point updates within one
+			// schedule step are independent, so sweeping the owned box and
+			// the shell slabs separately is bit-identical to one sweep.
+			cs := time.Now()
+			sp := obs.Begin(rank, obs.PhaseCompute, t)
+			k.Run(t, owned, bound[si], &op.execOpts)
+			sp.End()
+			sp = obs.Begin(rank, obs.PhaseShell, t)
+			for _, rb := range remainderBoxes(box, owned) {
+				k.Run(t, rb, bound[si], &op.execOpts)
+			}
+			sp.End()
+			op.perf.ComputeSeconds += time.Since(cs).Seconds()
+			op.perf.PointsUpdated += int64(box.Size())
+			continue
+		}
+		sp := obs.Begin(rank, obs.PhaseCompute, t)
 		cs := time.Now()
 		k.Run(t, box, bound[si], &op.execOpts)
 		op.perf.ComputeSeconds += time.Since(cs).Seconds()
 		op.perf.PointsUpdated += int64(box.Size())
+		sp.End()
 	}
 	op.tilePos++
 	if op.tilePos >= op.tileLen {
@@ -394,20 +425,21 @@ func (op *Operator) CommStats() CommStats {
 	}
 	local := f.LocalShape
 	if op.plan != nil {
+		k := float64(op.plan.K)
 		for _, h := range op.plan.Halos {
-			m, b := halo.AmortizedTraffic(op.mode, local, maxOf(op.plan.Depth[h.Field]), op.plan.K, 1)
-			out.MsgsPerStep += m
-			out.BytesPerStep += b
+			m, b := halo.TrafficDepth(op.mode, local, op.plan.Depth[h.Field])
+			out.MsgsPerStep += float64(m) / k
+			out.BytesPerStep += b / k
 		}
 		return out
 	}
 	for _, st := range op.Schedule.Steps {
 		for _, h := range st.Halos {
-			width := 0
+			var depth []int
 			if ff, ok := op.Fields[h.Field]; ok {
-				width = maxOf(op.exchangeDepthOr(h.Field, ff.Halo))
+				depth = op.exchangeDepthOr(h.Field, ff.Halo)
 			}
-			m, b := halo.Traffic(op.mode, local, width)
+			m, b := halo.TrafficDepth(op.mode, local, depth)
 			out.MsgsPerStep += float64(m)
 			out.BytesPerStep += b
 		}
@@ -422,12 +454,4 @@ func (op *Operator) exchangeDepthOr(name string, def []int) []int {
 		return d
 	}
 	return def
-}
-
-func maxOf(xs []int) int {
-	m := 0
-	for _, x := range xs {
-		m = max(m, x)
-	}
-	return m
 }

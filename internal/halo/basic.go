@@ -3,6 +3,7 @@ package halo
 import (
 	"devigo/internal/field"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 )
 
 // basicExchanger implements the paper's basic pattern: a synchronous sweep
@@ -16,6 +17,7 @@ import (
 type basicExchanger struct {
 	cart   *mpi.CartComm
 	f      *field.Function
+	rank   int
 	stream int
 	// depth is the exchanged ghost width per dimension (nil = the field's
 	// full allocated halo); deep-halo time tiling passes k·radius here.
@@ -23,7 +25,7 @@ type basicExchanger struct {
 }
 
 func newBasic(cart *mpi.CartComm, f *field.Function, stream int, depth []int) *basicExchanger {
-	return &basicExchanger{cart: cart, f: f, stream: stream, depth: depth}
+	return &basicExchanger{cart: cart, f: f, rank: cart.Rank(), stream: stream, depth: depth}
 }
 
 func (b *basicExchanger) Mode() Mode { return ModeBasic }
@@ -31,6 +33,7 @@ func (b *basicExchanger) Mode() Mode { return ModeBasic }
 func (b *basicExchanger) Exchange(t int) {
 	nd := b.f.NDims()
 	buf := b.f.Buf(t)
+	tid := b.stream + 1
 	for d := 0; d < nd; d++ {
 		// Dimensions already swept contribute their halo extent so corner
 		// data propagates (Fig. 5a: step A then step B).
@@ -60,15 +63,24 @@ func (b *basicExchanger) Exchange(t int) {
 			recvs = append(recvs, pending{req: req, region: rr, data: rbuf})
 
 			sr := b.f.SendRegionDepth(offset, includeHalo, b.depth)
+			sp := obs.BeginStream(b.rank, tid, obs.PhasePack, t)
 			sbuf := make([]float32, sr.Size())
 			buf.Pack(sr, sbuf)
+			sp.End()
+			sp = obs.BeginStream(b.rank, tid, obs.PhaseSend, t)
 			b.cart.Send(nb, mpi.OffsetTag(b.stream, offset), sbuf)
+			sp.End()
+			obs.CountMsg(b.rank, 4*int64(len(sbuf)))
 		}
 		// Block until this dimension's faces are in place before sweeping
 		// the next dimension (the synchronous multi-step of Table I).
 		for _, p := range recvs {
+			sp := obs.BeginStream(b.rank, tid, obs.PhaseWait, t)
 			p.req.Wait()
+			sp.End()
+			sp = obs.BeginStream(b.rank, tid, obs.PhaseUnpack, t)
 			buf.Unpack(p.region, p.data)
+			sp.End()
 		}
 	}
 }

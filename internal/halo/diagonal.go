@@ -3,6 +3,7 @@ package halo
 import (
 	"devigo/internal/field"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 )
 
 // diagonalExchanger implements the paper's diagonal pattern: one
@@ -12,6 +13,7 @@ import (
 type diagonalExchanger struct {
 	cart   *mpi.CartComm
 	f      *field.Function
+	rank   int
 	stream int
 
 	offsets [][]int
@@ -23,7 +25,7 @@ type diagonalExchanger struct {
 }
 
 func newDiagonal(cart *mpi.CartComm, f *field.Function, stream int, depth []int) *diagonalExchanger {
-	d := &diagonalExchanger{cart: cart, f: f, stream: stream}
+	d := &diagonalExchanger{cart: cart, f: f, rank: cart.Rank(), stream: stream}
 	d.offsets = mpi.NeighborOffsets(f.NDims())
 	d.nbrs = make([]int, len(d.offsets))
 	d.sendReg = make([]field.Region, len(d.offsets))
@@ -47,6 +49,7 @@ func (d *diagonalExchanger) Mode() Mode { return ModeDiagonal }
 
 func (d *diagonalExchanger) Exchange(t int) {
 	buf := d.f.Buf(t)
+	tid := d.stream + 1
 	reqs := make([]*mpi.Request, len(d.offsets))
 	// Single step: post every receive, then every send, then wait all.
 	for i, o := range d.offsets {
@@ -59,15 +62,24 @@ func (d *diagonalExchanger) Exchange(t int) {
 		if d.nbrs[i] == mpi.ProcNull {
 			continue
 		}
+		sp := obs.BeginStream(d.rank, tid, obs.PhasePack, t)
 		buf.Pack(d.sendReg[i], d.sendBuf[i])
+		sp.End()
+		sp = obs.BeginStream(d.rank, tid, obs.PhaseSend, t)
 		d.cart.Send(d.nbrs[i], mpi.OffsetTag(d.stream, o), d.sendBuf[i])
+		sp.End()
+		obs.CountMsg(d.rank, 4*int64(len(d.sendBuf[i])))
 	}
 	for i, r := range reqs {
 		if r == nil {
 			continue
 		}
+		sp := obs.BeginStream(d.rank, tid, obs.PhaseWait, t)
 		r.Wait()
+		sp.End()
+		sp = obs.BeginStream(d.rank, tid, obs.PhaseUnpack, t)
 		buf.Unpack(d.recvReg[i], d.recvBuf[i])
+		sp.End()
 	}
 }
 

@@ -3,6 +3,7 @@ package halo
 import (
 	"devigo/internal/field"
 	"devigo/internal/mpi"
+	"devigo/internal/obs"
 )
 
 // fullExchanger implements the paper's full (overlap) pattern: the same
@@ -26,6 +27,7 @@ func (e *fullExchanger) Mode() Mode { return ModeFull }
 
 func (e *fullExchanger) Start(t int) {
 	buf := e.f.Buf(t)
+	tid := e.stream + 1
 	e.pending = make([]*mpi.Request, len(e.offsets))
 	for i, o := range e.offsets {
 		if e.nbrs[i] == mpi.ProcNull {
@@ -37,10 +39,15 @@ func (e *fullExchanger) Start(t int) {
 		if e.nbrs[i] == mpi.ProcNull {
 			continue
 		}
+		sp := obs.BeginStream(e.rank, tid, obs.PhasePack, t)
 		buf.Pack(e.sendReg[i], e.sendBuf[i])
+		sp.End()
+		sp = obs.BeginStream(e.rank, tid, obs.PhaseSend, t)
 		// Isend: buffered, completes immediately in this runtime but keeps
 		// the schedule shape of the generated code.
 		e.cart.Isend(e.nbrs[i], mpi.OffsetTag(e.stream, o), e.sendBuf[i])
+		sp.End()
+		obs.CountMsg(e.rank, 4*int64(len(e.sendBuf[i])))
 	}
 	e.started = true
 }
@@ -57,12 +64,17 @@ func (e *fullExchanger) Finish(t int) {
 		return
 	}
 	buf := e.f.Buf(t)
+	tid := e.stream + 1
 	for i, r := range e.pending {
 		if r == nil {
 			continue
 		}
+		sp := obs.BeginStream(e.rank, tid, obs.PhaseWait, t)
 		r.Wait()
+		sp.End()
+		sp = obs.BeginStream(e.rank, tid, obs.PhaseUnpack, t)
 		buf.Unpack(e.recvReg[i], e.recvBuf[i])
+		sp.End()
 	}
 	e.pending = nil
 	e.started = false

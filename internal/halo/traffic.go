@@ -39,6 +39,35 @@ func Traffic(mode Mode, local []int, width int) (msgs int, bytes float64) {
 	return msgs, bytes
 }
 
+// TrafficDepth is the per-dimension-exact variant of Traffic: depth[d]
+// is the exchanged ghost width of dimension d, so the byte volume is the
+// exact anisotropic shell prod(local[d]+2*depth[d]) - prod(local[d]) the
+// exchangers ship (Traffic's scalar width is the isotropic special case).
+// The obs subsystem's measured counters must equal this prediction
+// exactly for interior ranks — the differential suite enforces it.
+func TrafficDepth(mode Mode, local, depth []int) (msgs int, bytes float64) {
+	width := 0
+	for _, w := range depth {
+		if w > width {
+			width = w
+		}
+	}
+	if mode == ModeNone || width <= 0 {
+		return 0, 0
+	}
+	msgs, _ = Traffic(mode, local, width)
+	outer, inner := 1.0, 1.0
+	for d := range local {
+		w := 0
+		if d < len(depth) {
+			w = depth[d]
+		}
+		outer *= float64(local[d]) + 2*float64(w)
+		inner *= float64(local[d])
+	}
+	return msgs, 4 * (outer - inner)
+}
+
 // AmortizedTraffic reports the steady-state per-timestep communication of
 // communication-avoiding time tiling: `streams` (field, time-offset)
 // pairs, each exchanged at ghost depth `width` once every k timesteps.

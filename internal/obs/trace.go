@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// envOnce guards the one-time environment probe of EnvSetup.
+var envOnce sync.Once
+
+// EnvSetup arms the subsystem from the environment: DEVIGO_TRACE=<file>
+// enables tracing, DEVIGO_METRICS=<file> enables metrics. The operator
+// constructor calls it, so any binary that builds an operator honours the
+// variables without extra wiring; FlushEnv writes the files at exit.
+func EnvSetup() {
+	envOnce.Do(func() {
+		if os.Getenv(TraceEnvVar) != "" {
+			EnableTracing()
+		} else if os.Getenv(MetricsEnvVar) != "" {
+			EnableMetrics()
+		}
+	})
+}
+
+// FlushEnv writes the outputs requested via the environment: the Chrome
+// trace to $DEVIGO_TRACE and the metrics snapshot to $DEVIGO_METRICS
+// (whichever are set). Call it once after the run completes — the CLI
+// mains do this for every rank's world.
+func FlushEnv() error {
+	if path := os.Getenv(TraceEnvVar); path != "" {
+		if err := WriteTraceFile(path); err != nil {
+			return err
+		}
+	}
+	if path := os.Getenv(MetricsEnvVar); path != "" {
+		if err := WriteMetricsFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTraceFile writes the recorded spans as Chrome trace_event JSON.
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTrace emits every recorded span in the Chrome trace_event JSON
+// object format (load the file in Perfetto or chrome://tracing). Each
+// rank becomes one process (pid = rank) and each stream one thread
+// within it (tid 0 = the operator time loop, tid s+1 = exchanger stream
+// s), so the viewer lays the run out as one track per rank x stream.
+// Timestamps are microseconds since the process-wide recording epoch.
+func WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for rank := 0; rank < MaxRanks; rank++ {
+		r := recs[rank].Load()
+		if r == nil {
+			continue
+		}
+		n := r.n.Load()
+		if n == 0 {
+			continue
+		}
+		if n > ringCap {
+			n = ringCap
+		}
+		emit(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"rank %d"}}`, rank, rank)
+		seen := map[int32]bool{}
+		for i := uint64(0); i < n; i++ {
+			sp := &r.buf[i]
+			if !seen[sp.stream] {
+				seen[sp.stream] = true
+				tname := "timeloop"
+				if sp.stream > 0 {
+					tname = fmt.Sprintf("halo stream %d", sp.stream-1)
+				}
+				emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+					rank, sp.stream, tname)
+			}
+			// ts/dur are float microseconds; keep ns resolution as .3f.
+			emit(`{"ph":"X","name":"%s","cat":"devigo","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"step":%d}}`,
+				sp.phase, rank, sp.stream,
+				float64(sp.start)/1e3, float64(sp.dur)/1e3, sp.step)
+		}
+	}
+	bw.WriteString("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"devigo\"}}\n")
+	return bw.Flush()
+}

@@ -106,6 +106,9 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 	}
 	u := m.Fields[m.WaveFields[0]]
 	store := checkpoint.New(k, u)
+	if ctx != nil && ctx.Comm != nil {
+		store.Rank = ctx.Comm.Rank()
+	}
 
 	// Phase 1: checkpointed forward integration recording synthetics.
 	rc := RunConfig{

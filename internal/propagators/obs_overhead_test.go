@@ -1,0 +1,64 @@
+package propagators
+
+import (
+	"testing"
+	"time"
+
+	"devigo/internal/obs"
+)
+
+// The trace-overhead guard: with DEVIGO_TRACE unset (obs disabled), the
+// instrumented Apply must run within noise of its pre-instrumentation
+// timings. A direct A/B against the un-instrumented binary is impossible
+// in-tree, so the guard bounds the overhead from first principles:
+// measure the real per-timestep cost of an instrumented serial Apply,
+// measure the per-call cost of a disabled instrumentation site, and
+// assert that the steps' worth of disabled calls stays far below the 2%
+// acceptance budget. The per-call figure is measured, not assumed, so a
+// regression that makes the disabled fast path expensive (say, a lock or
+// an allocation on Begin) trips the guard immediately.
+func TestObsOverheadDisabled(t *testing.T) {
+	obs.DisableAll()
+	obs.Reset()
+
+	size := 256
+	nt := 10
+	if testing.Short() {
+		size, nt = 96, 6
+	}
+	m, err := Acoustic(Config{Shape: []int{size, size}, SpaceOrder: 4, NBL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: nt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := res.Perf
+	stepSec := (perf.ComputeSeconds + perf.HaloSeconds) / float64(perf.Timesteps)
+	if stepSec <= 0 {
+		t.Fatalf("degenerate step time %v", stepSec)
+	}
+
+	bench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := obs.Begin(0, obs.PhaseCompute, i)
+			sp.End()
+		}
+	})
+	callSec := float64(bench.NsPerOp()) * 1e-9
+
+	// Instrumentation sites executed per serial timestep: one exchange +
+	// one compute span per schedule step, plus the steady-step counter and
+	// preamble bookkeeping amortized in. 8 per schedule step is a generous
+	// over-estimate (serial runs skip every exchanger-level site).
+	callsPerStep := float64(8 * len(res.Op.Schedule.Steps))
+	overhead := callsPerStep * callSec / stepSec
+	t.Logf("step=%s  call=%.1fns  calls/step=%.0f  overhead=%.5f%%",
+		time.Duration(float64(time.Second)*stepSec), float64(bench.NsPerOp()),
+		callsPerStep, overhead*100)
+	if overhead > 0.02 {
+		t.Errorf("disabled instrumentation overhead %.4f%% of a timestep exceeds the 2%% budget",
+			overhead*100)
+	}
+}

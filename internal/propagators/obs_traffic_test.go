@@ -1,0 +1,144 @@
+package propagators
+
+import (
+	"math"
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/obs"
+)
+
+// The obs/Traffic differential suite: the message and byte counters the
+// obs subsystem measures at the exchangers must equal the halo.Traffic /
+// halo.AmortizedTraffic predictions (the numbers CommStats and the
+// performance models are built on) EXACTLY — not approximately — for
+// every halo mode and exchange interval. The runs use a fully periodic
+// Cartesian topology so that every rank is interior (the closed-form
+// predictions assume a complete neighbourhood); counters, not physics,
+// are under test.
+
+// obsTrafficRun executes one 4-rank periodic run with obs metrics on and
+// returns the world-total measured steady counters plus rank-0's modelled
+// CommStats and effective interval.
+func obsTrafficRun(t *testing.T, model string, shape []int, mode halo.Mode, nt, k int) (obs.RankMetrics, core.CommStats, int) {
+	t.Helper()
+	obs.Reset()
+	var stats core.CommStats
+	var effK int
+	w := mpi.NewWorld(4)
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, []bool{true, true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := Config{Shape: shape, SpaceOrder: 4, NBL: 2, Decomp: dec, Rank: c.Rank()}
+		m, err := Build(model, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := Run(m, ctx, RunConfig{NT: nt, TimeTile: k, Workers: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			stats = res.Op.CommStats()
+			effK = res.Op.TimeTile()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.Snapshot().Total, stats, effK
+}
+
+func TestObsTrafficMatchesModelExactly(t *testing.T) {
+	obs.EnableMetrics()
+	defer func() {
+		obs.DisableAll()
+		obs.Reset()
+	}()
+	shape := []int{32, 32}
+	const nt = 8 // a multiple of every tested interval: no partial tiles
+	models := []string{"acoustic", "elastic"}
+	if testing.Short() {
+		models = []string{"acoustic"}
+	}
+	for _, model := range models {
+		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+			for _, k := range []int{1, 2, 4} {
+				total, stats, effK := obsTrafficRun(t, model, shape, mode, nt, k)
+				if effK != k {
+					t.Fatalf("%s/%s k=%d: effective interval %d (test needs the requested one)",
+						model, mode, k, effK)
+				}
+				// Predictions are per rank per step; all 4 ranks are interior
+				// under the periodic topology. nt is a multiple of k and k is
+				// a power of two, so the expected totals are exact in float64.
+				wantMsgs := stats.MsgsPerStep * float64(nt) * 4
+				wantBytes := stats.BytesPerStep * float64(nt) * 4
+				if wantMsgs <= 0 {
+					t.Fatalf("%s/%s k=%d: model predicts no traffic", model, mode, k)
+				}
+				if got := float64(total.StepMsgs); got != wantMsgs {
+					t.Errorf("%s/%s k=%d: measured %v msgs, model predicts %v",
+						model, mode, k, got, wantMsgs)
+				}
+				if got := float64(total.StepBytes); got != wantBytes {
+					t.Errorf("%s/%s k=%d: measured %v bytes, model predicts %v",
+						model, mode, k, got, wantBytes)
+				}
+				// The expected totals must themselves be integral — a
+				// fractional product would mean the exactness setup
+				// (nt multiple of k) is broken, not the counters.
+				if math.Trunc(wantMsgs) != wantMsgs || math.Trunc(wantBytes) != wantBytes {
+					t.Fatalf("%s/%s k=%d: non-integral expectation msgs=%v bytes=%v",
+						model, mode, k, wantMsgs, wantBytes)
+				}
+				// Tiled plans hoist the time-invariant parameter exchanges
+				// (the shell recompute reads them in the ghost region); they
+				// must be classified as preamble, never as steady state.
+				if effK > 1 && total.PreambleMsgs <= 0 {
+					t.Errorf("%s/%s k=%d: expected hoisted preamble exchanges to be classified separately",
+						model, mode, k)
+				}
+			}
+		}
+	}
+}
+
+// Serial runs must record no communication at all.
+func TestObsTrafficSerialZero(t *testing.T) {
+	obs.EnableMetrics()
+	defer func() {
+		obs.DisableAll()
+		obs.Reset()
+	}()
+	obs.Reset()
+	m, err := Acoustic(Config{Shape: []int{32, 32}, SpaceOrder: 4, NBL: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, nil, RunConfig{NT: 4}); err != nil {
+		t.Fatal(err)
+	}
+	total := obs.Snapshot().Total
+	if total.StepMsgs != 0 || total.StepBytes != 0 || total.PreambleMsgs != 0 {
+		t.Fatalf("serial run recorded traffic: %+v", total)
+	}
+	if total.SteadySteps != 4 {
+		t.Errorf("steady steps = %d, want 4", total.SteadySteps)
+	}
+}

@@ -95,6 +95,9 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 
 	res := &RunResult{NT: nt, DT: dt, Op: op}
 	if rc.Checkpoint != nil {
+		if ctx != nil && ctx.Comm != nil {
+			rc.Checkpoint.Rank = ctx.Comm.Rank()
+		}
 		rc.Checkpoint.SaveIfDue(0)
 	}
 	postStep := func(t int) {
