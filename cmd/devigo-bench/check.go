@@ -25,13 +25,14 @@ import (
 //	autotune-timing  search policy within 15% of the exhaustive best
 //	autotune         both autotune groups
 //	timetile         bit-exactness and message-amortization ratios
+//	transport        inproc-vs-TCP bit-exactness, traffic parity, schema sanity
 //
 // The split autotune groups let CI retry the timing half (noisy on a
 // preempted shared runner) without ever retrying a correctness failure.
 func runCheck(dir, only string, models []string) error {
 	groups := map[string]bool{}
 	if only == "" {
-		only = "exec,adjoint,autotune,timetile"
+		only = "exec,adjoint,autotune,timetile,transport"
 	}
 	for _, g := range strings.Split(only, ",") {
 		g = strings.TrimSpace(g)
@@ -41,7 +42,7 @@ func runCheck(dir, only string, models []string) error {
 			continue
 		}
 		switch g {
-		case "exec", "adjoint", "autotune-exact", "autotune-timing", "timetile":
+		case "exec", "adjoint", "autotune-exact", "autotune-timing", "timetile", "transport":
 			groups[g] = true
 		default:
 			return fmt.Errorf("unknown check group %q", g)
@@ -72,6 +73,10 @@ func runCheck(dir, only string, models []string) error {
 	if groups["timetile"] {
 		checked++
 		checkTimetileFile(filepath.Join(dir, "BENCH_timetile.json"), add)
+	}
+	if groups["transport"] {
+		checked++
+		checkTransportFile(filepath.Join(dir, "BENCH_transport.json"), add)
 	}
 	if checked == 0 {
 		return fmt.Errorf("-only %q selected no gate group", only)
@@ -213,6 +218,48 @@ func checkAutotuneFile(path string, exact, timing bool, add func(file, msg strin
 					sc.Name, c.RatioVsBest))
 			}
 		}
+	}
+}
+
+// checkTransportFile validates the transport comparison: both
+// substrates measured, bit-identical norms, message-count parity (the
+// schedule above the Transport interface must not depend on the wire),
+// and serial agreement within the DMP tolerance. Timing is recorded but
+// never gated — loopback TCP legitimately pays serialization and
+// syscall costs.
+func checkTransportFile(path string, add func(file, msg string)) {
+	const name = "BENCH_transport.json"
+	var r TransportReport
+	if !loadReport(path, &r, add) {
+		return
+	}
+	if r.Ranks < 2 {
+		add(name, fmt.Sprintf("ranks = %d, want >= 2", r.Ranks))
+	}
+	for _, sub := range []string{"inproc", "tcp"} {
+		m, ok := r.Transports[sub]
+		if !ok {
+			add(name, fmt.Sprintf("missing transports.%s block", sub))
+			continue
+		}
+		if m.Norm <= 0 {
+			add(name, fmt.Sprintf("transports.%s.norm = %v, want > 0", sub, m.Norm))
+		}
+		if m.GPtss <= 0 {
+			add(name, fmt.Sprintf("transports.%s.gptss = %v, want > 0", sub, m.GPtss))
+		}
+		if m.Msgs <= 0 {
+			add(name, fmt.Sprintf("transports.%s.msgs = %d, want > 0", sub, m.Msgs))
+		}
+	}
+	if !r.BitExact {
+		add(name, "bit_exact_inproc_vs_tcp = false")
+	}
+	if in, tcp := r.Transports["inproc"], r.Transports["tcp"]; in.Msgs != tcp.Msgs {
+		add(name, fmt.Sprintf("message counts diverge: inproc %d, tcp %d", in.Msgs, tcp.Msgs))
+	}
+	if r.SerialRelError > 1e-9 {
+		add(name, fmt.Sprintf("serial_rel_error = %g, want <= 1e-9", r.SerialRelError))
 	}
 }
 

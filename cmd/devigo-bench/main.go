@@ -46,6 +46,14 @@
 //
 //	devigo-bench -exp autotune -model acoustic -size 128 -nt 16 -out .
 //
+// -exp transport benchmarks the delivery substrates against each other:
+// the same 4-rank acoustic run over the in-process transport (goroutine
+// ranks) and over loopback TCP (one OS process per rank, spawned via
+// the launcher), certifying the norms bit-identical and writing
+// BENCH_transport.json with both timings and traffic counters:
+//
+//	devigo-bench -exp transport -size 64 -nt 30 -out .
+//
 // -exp observatory runs the continuous perf observatory: a compact
 // measured sweep (scenario x ranks x halo mode x exchange interval),
 // appended to a stored run history with regression detection against the
@@ -78,7 +86,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|observatory|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|transport|observatory|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
@@ -88,7 +96,7 @@ func main() {
 	out := flag.String("out", ".", "exec/adjoint/observatory: directory for BENCH_*.json")
 	check := flag.Bool("check", false, "validate BENCH_*.json gates in -dir instead of running an experiment")
 	dir := flag.String("dir", ".", "check: directory holding the BENCH_*.json files")
-	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile)")
+	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile,transport)")
 	history := flag.String("history", "", "observatory: run-history JSON path (default <out>/BENCH_history.json)")
 	regressWarn := flag.Bool("regress-warn", false, "observatory: report regressions as warnings instead of failing")
 	flag.Parse()
@@ -154,6 +162,12 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out, history strin
 		return runTimetile(models, sos, size, nt, out)
 	case "observatory":
 		return runObservatory(out, history, regressWarn)
+	case "transport":
+		return runTransport(size, nt, out)
+	case "transport-worker":
+		// Internal: one TCP rank process of -exp transport, spawned by
+		// the launcher with the rendezvous environment set.
+		return runTransportWorker(size, nt)
 	case "all":
 		all := []string{"acoustic", "elastic", "tti", "viscoelastic"}
 		both := []perfmodel.Machine{perfmodel.Archer2Node(), perfmodel.TursaA100()}

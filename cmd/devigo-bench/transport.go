@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+	"devigo/internal/propagators"
+)
+
+// -exp transport benchmarks the delivery substrates against each other:
+// the same 4-rank acoustic run executes once over the in-process
+// transport (goroutine ranks, shared memory) and once as four real OS
+// processes over loopback TCP (spawned via the launcher, rendezvousing
+// through a hostfile), certifies the two norms bit-identical and the
+// serial norm within 1e-9 relative, and writes BENCH_transport.json
+// with both timings and traffic counters. Exits non-zero on any
+// divergence, so CI can consume it directly.
+
+// transportResultEnv carries the path the TCP rank-0 process writes its
+// measurement to (stdout belongs to the run's human-readable output).
+const transportResultEnv = "DEVIGO_TRANSPORT_RESULT"
+
+// transportRanks is the world size of the comparison (a 2x2 topology).
+const transportRanks = 4
+
+// TransportMeasurement is one substrate's outcome of the fixed 4-rank
+// scenario.
+type TransportMeasurement struct {
+	Norm    float64 `json:"norm"`
+	Seconds float64 `json:"seconds"`
+	GPtss   float64 `json:"gptss"`
+	Msgs    int64   `json:"msgs"`
+	Bytes   int64   `json:"bytes"`
+}
+
+// TransportReport is the BENCH_transport.json schema.
+type TransportReport struct {
+	Schema     string `json:"schema"`
+	Scenario   string `json:"scenario"`
+	Shape      []int  `json:"shape"`
+	SpaceOrder int    `json:"space_order"`
+	NT         int    `json:"nt"`
+	Ranks      int    `json:"ranks"`
+	// SerialNorm anchors the distributed runs to the single-rank result.
+	SerialNorm float64 `json:"serial_norm"`
+	// Transports holds one measurement per substrate ("inproc", "tcp").
+	Transports map[string]TransportMeasurement `json:"transports"`
+	// BitExact reports whether the inproc and tcp norms are identical to
+	// the last bit — the transport acceptance criterion.
+	BitExact bool `json:"bit_exact_inproc_vs_tcp"`
+	// SerialRelError is |tcp - serial| / |serial|.
+	SerialRelError float64 `json:"serial_rel_error"`
+	// TCPOverheadRatio is tcp seconds / inproc seconds (recorded for the
+	// trajectory, not gated: loopback TCP pays serialization and
+	// syscalls the in-process mailboxes do not).
+	TCPOverheadRatio float64 `json:"tcp_overhead_ratio"`
+}
+
+// transportRankBody runs the fixed scenario on one rank of an
+// established world and returns the measurement on rank 0 (nil
+// elsewhere). It is shared verbatim by the in-process and TCP paths —
+// the point of the comparison is that nothing above the Transport
+// interface differs.
+func transportRankBody(c *mpi.Comm, size, nt int) (*TransportMeasurement, error) {
+	shape := []int{size, size}
+	g, err := grid.New(shape, nil)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+	if err != nil {
+		return nil, err
+	}
+	cart, err := mpi.CartCreate(c, dec.Topology, nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg := propagators.Config{Shape: shape, SpaceOrder: 8, NBL: 8, Velocity: 1.5,
+		Decomp: dec, Rank: c.Rank()}
+	m, err := propagators.Build("acoustic", cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeDiagonal}
+	start := time.Now()
+	res, err := propagators.Run(m, ctx, propagators.RunConfig{
+		NT: nt, NReceivers: 4, Engine: core.EngineBytecode, Workers: 2, TileRows: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	st := c.Transport().Stats()
+	msgs := c.AllreduceScalar(float64(st.MsgsSent), mpi.OpSum)
+	bytes := c.AllreduceScalar(float64(st.BytesSent), mpi.OpSum)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	return &TransportMeasurement{
+		Norm:    res.Norm,
+		Seconds: elapsed,
+		GPtss:   res.Perf.GPtss(),
+		Msgs:    int64(msgs),
+		Bytes:   int64(bytes),
+	}, nil
+}
+
+// runTransport is the parent experiment: serial baseline, in-process
+// world, then the multi-process TCP world via the launcher.
+func runTransport(size, nt int, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	shape := []int{size, size}
+	fmt.Printf("Transport comparison, %dx%d acoustic so-08, %d timesteps, %d ranks (2x2, diag)\n",
+		size, size, nt, transportRanks)
+
+	sm, err := propagators.Build("acoustic", propagators.Config{Shape: shape, SpaceOrder: 8, NBL: 8, Velocity: 1.5})
+	if err != nil {
+		return err
+	}
+	sres, err := propagators.Run(sm, nil, propagators.RunConfig{NT: nt, NReceivers: 4, Engine: core.EngineBytecode})
+	if err != nil {
+		return err
+	}
+
+	var inMeas *TransportMeasurement
+	w := mpi.NewWorld(transportRanks)
+	if err := w.Run(func(c *mpi.Comm) {
+		m, err := transportRankBody(c, size, nt)
+		if err != nil {
+			panic(err)
+		}
+		if m != nil {
+			inMeas = m
+		}
+	}); err != nil {
+		return err
+	}
+
+	tcpMeas, err := launchTransportTCP(size, nt)
+	if err != nil {
+		return fmt.Errorf("tcp world: %w", err)
+	}
+
+	report := TransportReport{
+		Schema:     "devigo-bench/transport/v1",
+		Scenario:   "acoustic",
+		Shape:      shape,
+		SpaceOrder: 8,
+		NT:         nt,
+		Ranks:      transportRanks,
+		SerialNorm: sres.Norm,
+		Transports: map[string]TransportMeasurement{
+			"inproc": *inMeas,
+			"tcp":    *tcpMeas,
+		},
+		BitExact: inMeas.Norm == tcpMeas.Norm,
+	}
+	rel := (tcpMeas.Norm - sres.Norm) / sres.Norm
+	if rel < 0 {
+		rel = -rel
+	}
+	report.SerialRelError = rel
+	if inMeas.Seconds > 0 {
+		report.TCPOverheadRatio = tcpMeas.Seconds / inMeas.Seconds
+	}
+
+	fmt.Printf("%-8s %22s %10s %10s %12s\n", "substrate", "norm", "seconds", "GPts/s", "messages")
+	for _, name := range []string{"inproc", "tcp"} {
+		m := report.Transports[name]
+		fmt.Printf("%-8s %22.17e %10.3f %10.4f %12d\n", name, m.Norm, m.Seconds, m.GPtss, m.Msgs)
+	}
+	fmt.Printf("bit-exact inproc vs tcp: %v, serial rel error %.2e, tcp/inproc time %.2fx\n",
+		report.BitExact, report.SerialRelError, report.TCPOverheadRatio)
+
+	path := filepath.Join(outDir, "BENCH_transport.json")
+	if err := writeJSON(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+
+	if !report.BitExact {
+		return fmt.Errorf("inproc and tcp norms diverge: %v vs %v", inMeas.Norm, tcpMeas.Norm)
+	}
+	if report.SerialRelError > 1e-9 {
+		return fmt.Errorf("tcp norm %v vs serial %v: relative error %g > 1e-9", tcpMeas.Norm, sres.Norm, rel)
+	}
+	if inMeas.Msgs != tcpMeas.Msgs {
+		return fmt.Errorf("message counts diverge across transports: inproc %d, tcp %d", inMeas.Msgs, tcpMeas.Msgs)
+	}
+	return nil
+}
+
+// launchTransportTCP spawns transportRanks copies of this binary in
+// worker mode and collects rank 0's measurement through a temp file.
+func launchTransportTCP(size, nt int) (*TransportMeasurement, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp("", "devigo-transport-*.json")
+	if err != nil {
+		return nil, err
+	}
+	resultPath := tmp.Name()
+	tmp.Close()
+	defer os.Remove(resultPath)
+	os.Setenv(transportResultEnv, resultPath)
+	defer os.Unsetenv(transportResultEnv)
+
+	argv := []string{exe, "-exp", "transport-worker",
+		"-size", strconv.Itoa(size), "-nt", strconv.Itoa(nt)}
+	if err := mpi.LaunchTCPLocal(transportRanks, argv); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(resultPath)
+	if err != nil {
+		return nil, fmt.Errorf("rank 0 left no result: %w", err)
+	}
+	var m TransportMeasurement
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("rank 0 result: %w", err)
+	}
+	return &m, nil
+}
+
+// runTransportWorker is one TCP rank process of the transport
+// experiment (reached via the launcher's re-exec, recognized through
+// the rendezvous environment). Rank 0 writes its measurement to the
+// path in DEVIGO_TRANSPORT_RESULT.
+func runTransportWorker(size, nt int) error {
+	t, err := mpi.TCPFromEnv()
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	var meas *TransportMeasurement
+	if err := mpi.RunRank(t, func(c *mpi.Comm) {
+		m, err := transportRankBody(c, size, nt)
+		if err != nil {
+			panic(err)
+		}
+		meas = m
+	}); err != nil {
+		return err
+	}
+	if meas == nil {
+		return nil // not rank 0
+	}
+	if path := os.Getenv(transportResultEnv); path != "" {
+		return writeJSON(path, meas)
+	}
+	return nil
+}

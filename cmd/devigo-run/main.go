@@ -1,10 +1,17 @@
 // devigo-run executes a real (small-scale) forward simulation of one of
-// the paper's four wave propagators on the in-process MPI runtime and
-// reports the BENCH-style throughput plus a wavefield checksum — the
+// the paper's four wave propagators on the MPI runtime and reports the
+// BENCH-style throughput plus a wavefield checksum — the
 // functional-correctness companion of devigo-bench:
 //
 //	devigo-run -model acoustic -d 48 -so 8 -nt 50                 # serial
 //	devigo-run -model elastic -d 32 -ranks 8 -mpi diag -nt 30     # 8-rank DMP
+//	devigo-run -model acoustic -ranks 4 -transport tcp -nt 30     # 4 processes over TCP
+//
+// -transport selects the delivery substrate: "inproc" runs every rank
+// as a goroutine of this process (the default), "tcp" spawns one OS
+// process per rank on localhost, rendezvousing through a generated
+// hostfile (DEVIGO_RANKS / DEVIGO_RANK / DEVIGO_HOSTFILE — set those
+// yourself to place ranks on real machines instead).
 package main
 
 import (
@@ -27,7 +34,8 @@ func main() {
 	so := flag.Int("so", 8, "space discretisation order")
 	nt := flag.Int("nt", 50, "timesteps")
 	nbl := flag.Int("nbl", 8, "absorbing layer width")
-	ranks := flag.Int("ranks", 1, "MPI ranks (in-process)")
+	ranks := flag.Int("ranks", 1, "MPI ranks")
+	transport := flag.String("transport", "inproc", "rank substrate: inproc (goroutines) | tcp (one process per rank)")
 	mpiMode := flag.String("mpi", "basic", "halo mode: basic|diag|full")
 	tile := flag.Int("tile", 0, "halo-exchange interval k (deep halos exchanged every k steps; 0 = DEVIGO_TIME_TILE or 1)")
 	nrec := flag.Int("receivers", 8, "receiver line length")
@@ -61,8 +69,8 @@ func main() {
 
 	mode, err := halo.ParseMode(*mpiMode)
 	fail(err)
-	w := mpi.NewWorld(*ranks)
-	err = w.Run(func(c *mpi.Comm) {
+
+	rankBody := func(c *mpi.Comm) {
 		g, err := grid.New(shape, nil)
 		if err != nil {
 			panic(err)
@@ -87,38 +95,81 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		// Traffic accounting works the same over any transport: snapshot
+		// the local counters, then sum across ranks with the runtime's
+		// own allreduce (the reduction's messages post-date the snapshot,
+		// so they are not self-counted).
+		st := c.Transport().Stats()
+		msgs := c.AllreduceScalar(float64(st.MsgsSent), mpi.OpSum)
+		bytes := c.AllreduceScalar(float64(st.BytesSent), mpi.OpSum)
 		if c.Rank() == 0 {
-			label := fmt.Sprintf("%d ranks, %s mode, topology %v", c.Size(), mode, dec.Topology)
+			label := fmt.Sprintf("%d ranks (%s), %s mode, topology %v", c.Size(), *transport, mode, dec.Topology)
 			if k := res.Op.TimeTile(); k > 1 {
 				label += fmt.Sprintf(", exchange interval %d", k)
 			}
 			report(label, res)
-			st := c.World().StatsSnapshot()
-			var msgs int
-			var bytes int64
-			for _, s := range st {
-				msgs += s.MsgsSent
-				bytes += s.BytesSent
-			}
-			fmt.Printf("  MPI traffic: %d messages, %.1f MB total\n", msgs, float64(bytes)/1e6)
+			fmt.Printf("  MPI traffic: %d messages, %.1f MB total\n", int64(msgs), bytes/1e6)
 		}
-	})
-	fail(err)
-	// One flush for the whole world: the per-rank recorders are global, so
-	// the trace holds every rank's spans (one Perfetto process per rank).
-	fail(obs.FlushEnv())
+	}
+
+	switch *transport {
+	case "inproc":
+		w := mpi.NewWorld(*ranks)
+		fail(w.Run(rankBody))
+		// One flush for the whole world: the per-rank recorders are
+		// global, so the trace holds every rank's spans (one Perfetto
+		// process per rank).
+		fail(obs.FlushEnv())
+	case "tcp":
+		if os.Getenv(mpi.RankEnvVar) == "" {
+			// Launcher mode: spawn one copy of this exact invocation per
+			// rank; the children land in the branch below.
+			fail(mpi.LaunchTCPLocal(*ranks, os.Args))
+			return
+		}
+		t, err := mpi.TCPFromEnv()
+		fail(err)
+		runErr := mpi.RunRank(t, rankBody)
+		t.Close()
+		fail(runErr)
+		// Rank processes share the environment, so each writes its own
+		// trace/metrics files (suffixed by rank) instead of clobbering
+		// one path.
+		suffixObsPaths(t.Rank())
+		fail(obs.FlushEnv())
+	default:
+		fail(fmt.Errorf("unknown transport %q (valid: inproc, tcp)", *transport))
+	}
+}
+
+// suffixObsPaths appends ".rank<r>" to the requested observability
+// output paths so concurrent rank processes never write the same file.
+func suffixObsPaths(rank int) {
+	for _, v := range []string{obs.TraceEnvVar, obs.MetricsEnvVar} {
+		if path := os.Getenv(v); path != "" {
+			os.Setenv(v, fmt.Sprintf("%s.rank%d", path, rank))
+		}
+	}
 }
 
 func report(label string, res *propagators.RunResult) {
 	fmt.Printf("%s\n", label)
-	fmt.Printf("  steps=%d dt=%.5f  norm=%.6e\n", res.NT, res.DT, res.Norm)
+	// The norm prints with full float64 round-trip precision so two runs
+	// (e.g. inproc vs tcp in CI) can be compared for bit-equality.
+	fmt.Printf("  steps=%d dt=%.5f  norm=%.17e\n", res.NT, res.DT, res.Norm)
 	fmt.Printf("  global perf: %.1f Mpts/s, flops/point=%d, compute %.2fs, halo %.2fs\n",
 		res.Perf.GPtss()*1e3, res.Perf.FlopsPerPoint,
 		res.Perf.ComputeSeconds, res.Perf.HaloSeconds)
 }
 
+// fail exits with the error after flushing any requested trace/metrics
+// output — an aborted run should still leave its observability files
+// behind (truncated evidence beats no evidence).
 func fail(err error) {
 	if err != nil {
+		if ferr := obs.FlushEnv(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "devigo-run: flush observability:", ferr)
+		}
 		fmt.Fprintln(os.Stderr, "devigo-run:", err)
 		os.Exit(1)
 	}

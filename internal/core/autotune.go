@@ -37,12 +37,24 @@ const AutotuneEnvVar = "DEVIGO_AUTOTUNE"
 // per candidate; the per-step minimum is kept to reject scheduling noise.
 const tuneStepsPerTrial = 3
 
+// AutotunePolicies lists the canonical policy names accepted by
+// ApplyOpts.Autotune and $DEVIGO_AUTOTUNE ("none"/"0" alias off,
+// "on"/"auto" alias search).
+func AutotunePolicies() []string {
+	return []string{AutotuneOff, AutotuneModel, AutotuneSearch}
+}
+
 // resolveAutotune picks the policy: explicit ApplyOpts.Autotune wins, then
-// the DEVIGO_AUTOTUNE environment variable, then off.
+// the DEVIGO_AUTOTUNE environment variable, then off. A value outside the
+// vocabulary is a configuration error naming the bad value, where it came
+// from, and what is accepted — matching the halo package's ParseMode
+// style.
 func resolveAutotune(requested string) (string, error) {
 	p := strings.ToLower(strings.TrimSpace(requested))
+	source := "ApplyOpts.Autotune"
 	if p == "" {
 		p = strings.ToLower(strings.TrimSpace(os.Getenv(AutotuneEnvVar)))
+		source = "$" + AutotuneEnvVar
 	}
 	switch p {
 	case "", AutotuneOff, "none", "0":
@@ -52,8 +64,8 @@ func resolveAutotune(requested string) (string, error) {
 	case AutotuneSearch, "on", "auto":
 		return AutotuneSearch, nil
 	}
-	return "", fmt.Errorf("core: unknown autotune policy %q (want %q, %q or %q)",
-		p, AutotuneOff, AutotuneModel, AutotuneSearch)
+	return "", fmt.Errorf("core: unknown autotune policy %q in %s (valid: %s; aliases: none, 0, on, auto)",
+		p, source, strings.Join(AutotunePolicies(), ", "))
 }
 
 // Profile derives the autotuner's view of the operator: per-point

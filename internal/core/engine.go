@@ -37,12 +37,21 @@ type execKernel interface {
 	StencilRadius() []int
 }
 
+// EngineNames lists the canonical engine names accepted by
+// Options.Engine and $DEVIGO_ENGINE ("vm" and "interp" are aliases).
+func EngineNames() []string { return []string{EngineBytecode, EngineInterpreter} }
+
 // resolveEngine picks the execution engine: explicit Options.Engine wins,
 // then the DEVIGO_ENGINE environment variable, then the bytecode default.
+// A value outside the vocabulary is a configuration error naming the bad
+// value, where it came from, and what is accepted — matching the halo
+// package's ParseMode style.
 func resolveEngine(requested string) (string, error) {
 	e := strings.ToLower(strings.TrimSpace(requested))
+	source := "Options.Engine"
 	if e == "" {
 		e = strings.ToLower(strings.TrimSpace(os.Getenv(EngineEnvVar)))
+		source = "$" + EngineEnvVar
 	}
 	switch e {
 	case "":
@@ -52,7 +61,8 @@ func resolveEngine(requested string) (string, error) {
 	case EngineInterpreter, "interp":
 		return EngineInterpreter, nil
 	}
-	return "", fmt.Errorf("core: unknown engine %q (want %q or %q)", e, EngineBytecode, EngineInterpreter)
+	return "", fmt.Errorf("core: unknown engine %q in %s (valid: %s; aliases: vm, interp)",
+		e, source, strings.Join(EngineNames(), ", "))
 }
 
 // compileStep compiles one optimized loop nest with the selected engine.

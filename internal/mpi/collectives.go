@@ -1,51 +1,43 @@
 package mpi
 
-import "sync"
+// Collectives are built purely on point-to-point Send/Recv so they run
+// unchanged over any Transport: a dissemination barrier, a binomial-tree
+// broadcast and a recursive-doubling allreduce. The previous runtime
+// implemented Barrier on a shared-memory generation counter and
+// Allreduce as a rank-0 star — both in-process-only shapes; the
+// replacements keep bit-identical results (the allreduce gathers every
+// rank's contribution and folds in ascending rank order on every rank,
+// exactly the fold the rank-0 star performed) while needing nothing but
+// messages.
 
-// barrier is a reusable generation barrier for all ranks of a world.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) await() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.mu.Unlock()
-		b.cond.Broadcast()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
-}
-
-// Barrier blocks until every rank of the world has entered it.
-func (c *Comm) Barrier() { c.world.barrier.await() }
-
-// collTag returns a fresh tag in the reserved collective tag space. Every
-// rank executes collectives in the same order, so per-rank sequence numbers
-// agree across the communicator.
+// collTagBase reserves the collective tag space. Every rank executes
+// collectives in the same order, so per-rank sequence numbers agree
+// across the communicator and collective traffic can never be confused
+// with user messages.
 const collTagBase = 1 << 30
 
 func (c *Comm) collTag() int {
 	t := collTagBase + c.collSeq
 	c.collSeq++
 	return t
+}
+
+// Barrier blocks until every rank has entered it — a dissemination
+// barrier: ceil(log2 n) rounds, each rank sending a token to
+// (rank + 2^k) mod n and receiving one from (rank - 2^k) mod n. The
+// round offsets are distinct modulo n, so a single collective tag
+// suffices (sources differ per round).
+func (c *Comm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	tag := c.collTag()
+	for off := 1; off < c.size; off <<= 1 {
+		dst := (c.rank + off) % c.size
+		src := (c.rank - off + c.size) % c.size
+		c.Send(dst, tag, nil)
+		c.Recv(src, tag, nil)
+	}
 }
 
 // ReduceOp is a binary reduction operator.
@@ -69,38 +61,128 @@ var (
 )
 
 // Allreduce reduces vals elementwise across all ranks with op and returns
-// the result on every rank. Reduction happens in rank order on rank 0, so
-// the result is deterministic and identical everywhere.
+// the result on every rank. Every rank gathers all contributions via
+// recursive doubling and folds them in ascending rank order, so the
+// result is deterministic, identical everywhere, and bit-identical to a
+// sequential rank-order fold regardless of the communication schedule —
+// floating-point addition is not associative, so the gather-then-fold
+// split is what keeps the checked-in BENCH norms stable across
+// transports and world shapes.
 func (c *Comm) Allreduce(vals []float64, op ReduceOp) []float64 {
-	tag := c.collTag()
-	buf32 := make([]float32, 2*len(vals))
-	// float64 values are shipped as pairs of float32s would lose precision;
-	// instead pack the bits. A dedicated float64 channel would be cleaner,
-	// but the message substrate is float32: encode via two 32-bit halves.
 	out := make([]float64, len(vals))
 	copy(out, vals)
 	if c.size == 1 {
 		return out
 	}
-	if c.rank == 0 {
-		tmp := make([]float64, len(vals))
-		for src := 1; src < c.size; src++ {
-			c.Recv(src, tag, buf32)
-			unpackFloat64(buf32, tmp)
-			for i := range out {
-				out[i] = op(out[i], tmp[i])
+	table := c.allgather(vals)
+	copy(out, table[0])
+	for r := 1; r < c.size; r++ {
+		for i := range out {
+			out[i] = op(out[i], table[r][i])
+		}
+	}
+	return out
+}
+
+// allgather collects every rank's contribution on every rank (indexed by
+// rank) using recursive doubling over the largest power-of-two subset:
+// ranks >= p2 first fold their contribution into a partner below p2,
+// the subset doubles log2(p2) times, and the partners are paid back with
+// the completed table. Messages carry float64 bit patterns packed into
+// float32 pairs (see packFloat64) prefixed implicitly by position — the
+// slot layout of every message is a deterministic function of the round,
+// so no headers are needed.
+func (c *Comm) allgather(vals []float64) [][]float64 {
+	n := len(vals)
+	tag := c.collTag()
+	table := make([][]float64, c.size)
+	own := make([]float64, n)
+	copy(own, vals)
+	table[c.rank] = own
+
+	p2 := 1
+	for p2*2 <= c.size {
+		p2 *= 2
+	}
+	extra := c.size - p2 // ranks p2..size-1 piggyback on rank-p2 partners
+
+	// slotsOf lists the initial slots participant i (a rank < p2) holds
+	// after the bring-in phase: its own, plus its piggybacked partner's.
+	slotsOf := func(i int) []int {
+		s := []int{i}
+		if i+p2 < c.size {
+			s = append(s, i+p2)
+		}
+		return s
+	}
+
+	if c.rank >= p2 {
+		// Bring-in: hand the contribution to the partner, then wait for
+		// the completed table.
+		c.sendSlots(c.rank-p2, tag, [][]float64{own})
+		full := c.recvSlots(c.rank-p2, tag, c.size, n)
+		copy(table, full)
+		return table
+	}
+	if c.rank+p2 < c.size {
+		in := c.recvSlots(c.rank+p2, tag, 1, n)
+		table[c.rank+p2] = in[0]
+	}
+
+	// Recursive doubling among the p2 participants: after round k each
+	// participant owns the slots of its aligned 2^(k+1)-participant
+	// block; partner blocks are disjoint and their slot lists are
+	// deterministic, so both sides know exactly what travels.
+	for mask := 1; mask < p2; mask <<= 1 {
+		partner := c.rank ^ mask
+		base := c.rank &^ (2*mask - 1)
+		var mine, theirs []int
+		for i := base; i < base+2*mask; i++ {
+			if (i & mask) == (c.rank & mask) {
+				mine = append(mine, slotsOf(i)...)
+			} else {
+				theirs = append(theirs, slotsOf(i)...)
 			}
 		}
-		packFloat64(out, buf32)
-		for dst := 1; dst < c.size; dst++ {
-			c.Send(dst, tag, buf32)
+		send := make([][]float64, len(mine))
+		for j, s := range mine {
+			send[j] = table[s]
 		}
-		return out
+		c.sendSlots(partner, tag, send)
+		recv := c.recvSlots(partner, tag, len(theirs), n)
+		for j, s := range theirs {
+			table[s] = recv[j]
+		}
 	}
-	packFloat64(vals, buf32)
-	c.Send(0, tag, buf32)
-	c.Recv(0, tag, buf32)
-	unpackFloat64(buf32, out)
+	if extra > 0 && c.rank+p2 < c.size {
+		// Pay-back: ship the completed table to the piggybacked partner.
+		c.sendSlots(c.rank+p2, tag, table)
+	}
+	return table
+}
+
+// sendSlots ships a list of equal-length float64 vectors as one packed
+// message.
+func (c *Comm) sendSlots(dst, tag int, vecs [][]float64) {
+	var flat []float64
+	for _, v := range vecs {
+		flat = append(flat, v...)
+	}
+	buf := make([]float32, 2*len(flat))
+	packFloat64(flat, buf)
+	c.Send(dst, tag, buf)
+}
+
+// recvSlots receives count packed vectors of n float64s each.
+func (c *Comm) recvSlots(src, tag, count, n int) [][]float64 {
+	buf := make([]float32, 2*count*n)
+	c.Recv(src, tag, buf)
+	flat := make([]float64, count*n)
+	unpackFloat64(buf, flat)
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
 	return out
 }
 
@@ -109,21 +191,32 @@ func (c *Comm) AllreduceScalar(v float64, op ReduceOp) float64 {
 	return c.Allreduce([]float64{v}, op)[0]
 }
 
-// Bcast broadcasts buf from root to all ranks.
+// Bcast broadcasts buf from root to all ranks over a binomial tree:
+// log2(n) rounds instead of the previous root-sends-to-everyone star,
+// and nothing but point-to-point messages.
 func (c *Comm) Bcast(root int, buf []float32) {
 	tag := c.collTag()
 	if c.size == 1 {
 		return
 	}
-	if c.rank == root {
-		for dst := 0; dst < c.size; dst++ {
-			if dst != root {
-				c.Send(dst, tag, buf)
-			}
+	rel := (c.rank - root + c.size) % c.size
+	mask := 1
+	for mask < c.size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % c.size
+			c.Recv(src, tag, buf)
+			break
 		}
-		return
+		mask <<= 1
 	}
-	c.Recv(root, tag, buf)
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < c.size {
+			dst := (rel + mask + root) % c.size
+			c.Send(dst, tag, buf)
+		}
+		mask >>= 1
+	}
 }
 
 // Gather collects each rank's contribution on root; parts[r] receives rank

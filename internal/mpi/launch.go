@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Launch helpers for TCP worlds. RunTCPLocal hosts every rank as a
+// goroutine of the calling process but routes all traffic through real
+// loopback sockets — the differential and conformance tests use it to
+// exercise the wire without process management. LaunchTCPLocal spawns
+// one OS process per rank (the real deployment shape) and is what
+// cmd/devigo-run's launcher mode and the CI multi-process smoke build
+// on.
+
+// RunTCPLocal executes f once per rank over a loopback TCP world and
+// returns the first rank error (a panic inside f is recovered by
+// RunRank). Listeners are bound on port 0 before any transport starts,
+// so no port is ever picked racily. timeout <= 0 means the default
+// deadline.
+func RunTCPLocal(n int, timeout time.Duration, f func(c *Comm)) error {
+	if n < 1 {
+		return fmt.Errorf("mpi: tcp: world size %d < 1", n)
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return fmt.Errorf("mpi: tcp: bind rank %d: %w", r, err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			t, err := NewTCPTransport(TCPConfig{
+				Rank:     rank,
+				Addrs:    addrs,
+				Timeout:  timeout,
+				Listener: lns[rank],
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer t.Close()
+			if err := RunRank(t, f); err != nil {
+				errs <- err
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		return e
+	default:
+		return nil
+	}
+}
+
+// FreeLocalAddrs reserves n distinct loopback host:port addresses by
+// binding and immediately closing port-0 listeners. The tiny window
+// between close and the rank process's own bind is the usual free-port
+// race; acceptable for a local launcher.
+func FreeLocalAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("mpi: tcp: reserve port: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	for _, l := range lns {
+		l.Close()
+	}
+	return addrs, nil
+}
+
+// WriteHostfile writes one host:port per line (rank order) to path.
+func WriteHostfile(path string, addrs []string) error {
+	if err := os.WriteFile(path, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		return fmt.Errorf("mpi: tcp: hostfile: %w", err)
+	}
+	return nil
+}
+
+// LaunchTCPLocal spawns one child process per rank on localhost and
+// waits for all of them: the command is argv re-executed verbatim with
+// the rendezvous environment (DEVIGO_RANKS, DEVIGO_RANK,
+// DEVIGO_HOSTFILE) appended, so the child recognizes itself as a rank
+// via TCPFromEnv. Children inherit stdout/stderr; the first failure's
+// error is returned after every child has exited (no child is left
+// behind — a dead rank trips the peers' receive deadlines, which exits
+// them too).
+func LaunchTCPLocal(n int, argv []string) error {
+	if n < 1 {
+		return fmt.Errorf("mpi: tcp: world size %d < 1", n)
+	}
+	if len(argv) == 0 {
+		return fmt.Errorf("mpi: tcp: empty launch command")
+	}
+	addrs, err := FreeLocalAddrs(n)
+	if err != nil {
+		return err
+	}
+	hf, err := os.CreateTemp("", "devigo-hostfile-*")
+	if err != nil {
+		return fmt.Errorf("mpi: tcp: hostfile: %w", err)
+	}
+	hostfile := hf.Name()
+	hf.Close()
+	defer os.Remove(hostfile)
+	if err := WriteHostfile(hostfile, addrs); err != nil {
+		return err
+	}
+
+	cmds := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", RanksEnvVar, n),
+			fmt.Sprintf("%s=%d", RankEnvVar, r),
+			fmt.Sprintf("%s=%s", HostfileEnvVar, hostfile),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:r] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("mpi: tcp: start rank %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+	var firstErr error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("mpi: tcp: rank %d: %w", r, err)
+		}
+	}
+	return firstErr
+}

@@ -1,161 +1,50 @@
-// Package mpi implements an in-process message-passing runtime with MPI
-// semantics: ranks are goroutines, point-to-point messages are matched by
-// (source, tag) in posting order, and the usual blocking/nonblocking
-// operations, collectives and Cartesian communicators are provided.
+// Package mpi implements a message-passing runtime with MPI semantics:
+// point-to-point messages are matched by (source, tag) in posting order,
+// and the usual blocking/nonblocking operations, collectives and
+// Cartesian communicators are provided.
 //
-// It is the substitute substrate for the MPI library + cluster of the paper
-// (see DESIGN.md): the generated communication schedules run for real over
-// this runtime, so distributed-versus-serial equivalence is testable, while
-// wall-clock behaviour of the interconnect is modeled separately by
-// internal/perfmodel.
+// Delivery is pluggable behind the Transport interface. The default
+// in-process transport runs every rank as a goroutine of one world —
+// the substitute substrate for the MPI library + cluster of the paper
+// (see DESIGN.md): the generated communication schedules run for real
+// over this runtime, so distributed-versus-serial equivalence is
+// testable, while wall-clock behaviour of the interconnect is modeled
+// separately by internal/perfmodel. The TCP transport (tcp.go) runs one
+// rank per OS process over real sockets with length-prefixed frames, so
+// the same schedules additionally exercise serialization, the wire, and
+// failure. Collectives are written purely on point-to-point Send/Recv
+// (binomial-tree broadcast, recursive-doubling allreduce, dissemination
+// barrier), so they work identically over any transport.
 package mpi
 
 import (
 	"fmt"
-	"sync"
 )
 
 // ProcNull is the null process rank: sends and receives addressed to it are
 // no-ops, mirroring MPI_PROC_NULL.
 const ProcNull = -1
 
-// message is an in-flight point-to-point payload. Data is owned by the
-// mailbox once enqueued (the sender copies).
-type message struct {
-	tag  int
-	data []float32
-}
-
-// mailbox queues messages from one fixed sender to one fixed receiver.
-type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-// push enqueues a message (sender side).
-func (m *mailbox) push(tag int, data []float32) {
-	m.mu.Lock()
-	m.queue = append(m.queue, message{tag: tag, data: data})
-	m.mu.Unlock()
-	m.cond.Broadcast()
-}
-
-// pop removes and returns the first message with the given tag, blocking
-// until one arrives.
-func (m *mailbox) pop(tag int) []float32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if msg.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.data
-			}
-		}
-		m.cond.Wait()
-	}
-}
-
-// tryPop removes the first message with the given tag if present.
-func (m *mailbox) tryPop(tag int) ([]float32, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i, msg := range m.queue {
-		if msg.tag == tag {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return msg.data, true
-		}
-	}
-	return nil, false
-}
-
-// World is a set of communicating ranks within the process.
-type World struct {
-	size      int
-	mailboxes [][]*mailbox // [src][dst]
-	barrier   *barrier
-
-	statsMu sync.Mutex
-	stats   []Stats
-}
-
-// Stats accumulates per-rank communication accounting, used by tests
-// (paper Table I) and cross-checked against the performance model.
-type Stats struct {
-	MsgsSent  int
-	BytesSent int64
-}
-
-// NewWorld creates a world of n ranks.
-func NewWorld(n int) *World {
-	if n < 1 {
-		panic("mpi: world size must be >= 1")
-	}
-	w := &World{size: n, barrier: newBarrier(n), stats: make([]Stats, n)}
-	w.mailboxes = make([][]*mailbox, n)
-	for s := 0; s < n; s++ {
-		w.mailboxes[s] = make([]*mailbox, n)
-		for d := 0; d < n; d++ {
-			w.mailboxes[s][d] = newMailbox()
-		}
-	}
-	return w
-}
-
-// Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
-
-// Stats returns a snapshot of per-rank accounting.
-func (w *World) StatsSnapshot() []Stats {
-	w.statsMu.Lock()
-	defer w.statsMu.Unlock()
-	return append([]Stats(nil), w.stats...)
-}
-
-// Run executes f once per rank, each on its own goroutine, and waits for all
-// to finish. A panic on any rank is recovered and returned as an error
-// (first one wins); remaining ranks may deadlock-free finish or be
-// abandoned — Run still returns after all goroutines exit or panic.
-func (w *World) Run(f func(c *Comm)) (err error) {
-	var wg sync.WaitGroup
-	errs := make(chan error, w.size)
-	for r := 0; r < w.size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
-				}
-			}()
-			f(&Comm{rank: rank, size: w.size, world: w})
-		}(r)
-	}
-	wg.Wait()
-	select {
-	case e := <-errs:
-		return e
-	default:
-		return nil
-	}
-}
-
 // Comm is a rank's handle on the world — the equivalent of MPI_COMM_WORLD
-// as seen from one process.
+// as seen from one process — layered over a Transport.
 type Comm struct {
-	rank  int
-	size  int
+	rank int
+	size int
+	t    Transport
+	// world is the in-process World this Comm belongs to, nil for
+	// out-of-process transports (kept for the world-wide accounting
+	// snapshot the in-process tests and benchmarks consume).
 	world *World
 	// collSeq numbers collective operations so that their internal
 	// point-to-point traffic cannot be confused with user messages.
 	collSeq int
+}
+
+// NewComm wraps a transport in a communicator. Out-of-process rank
+// programs (the TCP launcher's children) build their Comm here; the
+// in-process path goes through World.Run.
+func NewComm(t Transport) *Comm {
+	return &Comm{rank: t.Rank(), size: t.Size(), t: t}
 }
 
 // Rank returns the calling rank.
@@ -164,22 +53,27 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.size }
 
-// World returns the underlying world (for accounting).
+// World returns the underlying in-process world (for its accounting
+// snapshot); nil when the Comm runs over an out-of-process transport.
 func (c *Comm) World() *World { return c.world }
 
-// Send performs a blocking standard-mode send. The data is copied, so the
-// caller may reuse the buffer immediately (buffered semantics — matching
-// what a correct MPI program may assume only of MPI_Bsend, but what the
-// generated code here relies on deliberately).
+// Transport exposes the delivery substrate (for transport-level
+// accounting and teardown).
+func (c *Comm) Transport() Transport { return c.t }
+
+// Send performs a blocking standard-mode send. The payload is
+// snapshotted before Send returns (the Transport contract's post-time
+// ownership), so the caller may reuse the buffer immediately — buffered
+// semantics, matching what a correct MPI program may assume only of
+// MPI_Bsend, but what the generated code here relies on deliberately.
 func (c *Comm) Send(dst, tag int, data []float32) {
 	if dst == ProcNull {
 		return
 	}
 	c.checkRank(dst)
-	buf := make([]float32, len(data))
-	copy(buf, data)
-	c.world.mailboxes[c.rank][dst].push(tag, buf)
-	c.account(len(data))
+	if err := c.t.Send(dst, tag, data); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: send to %d tag %d: %v", c.rank, dst, tag, err))
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives, copies
@@ -190,7 +84,10 @@ func (c *Comm) Recv(src, tag int, buf []float32) int {
 		return 0
 	}
 	c.checkRank(src)
-	data := c.world.mailboxes[src][c.rank].pop(tag)
+	data, err := c.t.Recv(src, tag)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: recv from %d tag %d: %v", c.rank, src, tag, err))
+	}
 	if len(data) > len(buf) {
 		panic(fmt.Sprintf("mpi: rank %d: message from %d tag %d truncated (%d > %d)",
 			c.rank, src, tag, len(data), len(buf)))
@@ -205,16 +102,24 @@ func (c *Comm) checkRank(r int) {
 	}
 }
 
-func (c *Comm) account(n int) {
-	c.world.statsMu.Lock()
-	c.world.stats[c.rank].MsgsSent++
-	c.world.stats[c.rank].BytesSent += int64(n) * 4
-	c.world.statsMu.Unlock()
-}
-
 // SendRecv exchanges messages with possibly different partners, deadlock
 // free (the send is buffered).
 func (c *Comm) SendRecv(dst, sendTag int, sendData []float32, src, recvTag int, recvBuf []float32) int {
 	c.Send(dst, sendTag, sendData)
 	return c.Recv(src, recvTag, recvBuf)
+}
+
+// RunRank executes f as one rank over an established transport,
+// recovering a panic into an error — the single-process counterpart of
+// World.Run used by rank-per-process transports, so a transport failure
+// (a hung peer's recv deadline, a dead connection) surfaces as a clean
+// error and a non-zero exit instead of a deadlock or a stack trace.
+func RunRank(t Transport, f func(c *Comm)) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("mpi: rank %d panicked: %v", t.Rank(), rec)
+		}
+	}()
+	f(NewComm(t))
+	return nil
 }

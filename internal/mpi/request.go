@@ -1,11 +1,13 @@
 package mpi
 
+import "fmt"
+
 // Request is the handle of a nonblocking operation, completed by Wait or
 // polled by Test — the counterpart of MPI_Request.
 type Request struct {
 	comm *Comm
 	// kind discriminates send/recv; sends complete at post time under the
-	// runtime's buffered semantics.
+	// transport contract's post-time buffer ownership.
 	isRecv bool
 	src    int
 	tag    int
@@ -14,9 +16,11 @@ type Request struct {
 	n      int
 }
 
-// Isend posts a nonblocking send. Under the runtime's buffered semantics
-// the payload is copied and enqueued immediately, so the request is born
-// complete; it still participates in Waitall for schedule fidelity.
+// Isend posts a nonblocking send. The Transport contract snapshots the
+// payload at post time (see Transport's buffer-ownership rules), so the
+// request is born complete and the caller may mutate the source buffer
+// immediately — on every transport, not just the in-process one; it
+// still participates in Waitall for schedule fidelity.
 func (c *Comm) Isend(dst, tag int, data []float32) *Request {
 	c.Send(dst, tag, data)
 	return &Request{comm: c, done: true}
@@ -38,13 +42,12 @@ func (r *Request) Wait() int {
 	if r.done {
 		return r.n
 	}
-	data := r.comm.world.mailboxes[r.src][r.comm.rank].pop(r.tag)
-	if len(data) > len(r.buf) {
-		panic("mpi: Irecv message truncated")
+	data, err := r.comm.t.Recv(r.src, r.tag)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: irecv from %d tag %d: %v",
+			r.comm.rank, r.src, r.tag, err))
 	}
-	copy(r.buf, data)
-	r.n = len(data)
-	r.done = true
+	r.complete(data)
 	return r.n
 }
 
@@ -55,17 +58,26 @@ func (r *Request) Test() bool {
 	if r.done {
 		return true
 	}
-	data, ok := r.comm.world.mailboxes[r.src][r.comm.rank].tryPop(r.tag)
+	data, ok, err := r.comm.t.TryRecv(r.src, r.tag)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: irecv from %d tag %d: %v",
+			r.comm.rank, r.src, r.tag, err))
+	}
 	if !ok {
 		return false
 	}
+	r.complete(data)
+	return true
+}
+
+// complete finishes a receive with the delivered payload.
+func (r *Request) complete(data []float32) {
 	if len(data) > len(r.buf) {
 		panic("mpi: Irecv message truncated")
 	}
 	copy(r.buf, data)
 	r.n = len(data)
 	r.done = true
-	return true
 }
 
 // Done reports whether the request has already completed (without polling).

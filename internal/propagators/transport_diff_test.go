@@ -1,0 +1,166 @@
+package propagators
+
+import (
+	"testing"
+	"time"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+)
+
+// Transport differential suite: the same 4-rank run must be
+// bit-identical whether ranks are goroutines sharing memory (the
+// in-process transport) or peers exchanging length-prefixed frames over
+// loopback TCP. The communication schedule above the Transport
+// interface is byte-for-byte the same, so any divergence is a transport
+// bug — framing, ordering, or a float that didn't round-trip the wire.
+
+// dmpOutcome is everything a distributed run externalizes.
+type dmpOutcome struct {
+	norm   float64
+	traces [][]float64
+}
+
+// runDMPOver runs one 2x2-decomposed model under the given world runner
+// and collects the rank-0 outcome.
+func runDMPOver(t *testing.T, runWorld func(f func(c *mpi.Comm)) error,
+	name, engine string, shape []int, mode halo.Mode, so, nt, k int) dmpOutcome {
+	t.Helper()
+	var out dmpOutcome
+	err := runWorld(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, so)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build(name, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
+		res, err := Run(m, ctx, RunConfig{
+			NT: nt, NReceivers: 4, Engine: engine,
+			Workers: 2, TileRows: 3, TimeTile: k,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			out.norm = res.Norm
+			out.traces = res.Receivers
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func runDMPInproc(t *testing.T, name, engine string, shape []int, mode halo.Mode, so, nt, k int) dmpOutcome {
+	t.Helper()
+	return runDMPOver(t, mpi.NewWorld(4).Run, name, engine, shape, mode, so, nt, k)
+}
+
+func runDMPTCP(t *testing.T, name, engine string, shape []int, mode halo.Mode, so, nt, k int) dmpOutcome {
+	t.Helper()
+	runner := func(f func(c *mpi.Comm)) error {
+		return mpi.RunTCPLocal(4, 2*time.Minute, f)
+	}
+	return runDMPOver(t, runner, name, engine, shape, mode, so, nt, k)
+}
+
+// requireIdentical asserts two outcomes agree bit-for-bit.
+func requireIdentical(t *testing.T, label string, a, b dmpOutcome) {
+	t.Helper()
+	if a.norm != b.norm {
+		t.Errorf("%s: norms diverge across transports: inproc %v, tcp %v", label, a.norm, b.norm)
+	}
+	if len(a.traces) != len(b.traces) {
+		t.Fatalf("%s: trace lengths diverge: %d vs %d", label, len(a.traces), len(b.traces))
+	}
+	for it := range a.traces {
+		for r := range a.traces[it] {
+			if a.traces[it][r] != b.traces[it][r] {
+				t.Fatalf("%s: trace (%d,%d) diverges across transports: %v vs %v",
+					label, it, r, a.traces[it][r], b.traces[it][r])
+			}
+		}
+	}
+}
+
+// TestTransportDifferential_AllModesTimeTiles is the acceptance matrix
+// of the TCP transport: every halo mode crossed with exchange intervals
+// k∈{1,4}, on the acoustic model's bytecode engine, bit-exact against
+// the in-process world.
+func TestTransportDifferential_AllModesTimeTiles(t *testing.T) {
+	shape := []int{24, 24}
+	so, nt := 4, 20
+	for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
+		for _, k := range []int{1, 4} {
+			mode, k := mode, k
+			t.Run(mode.String()+"/k"+string(rune('0'+k)), func(t *testing.T) {
+				in := runDMPInproc(t, "acoustic", core.EngineBytecode, shape, mode, so, nt, k)
+				tc := runDMPTCP(t, "acoustic", core.EngineBytecode, shape, mode, so, nt, k)
+				requireIdentical(t, mode.String(), in, tc)
+			})
+		}
+	}
+}
+
+// TestTransportDifferential_ModelsEngines crosses the remaining axes:
+// every model against both execution engines, diagonal mode, over TCP
+// versus in-process.
+func TestTransportDifferential_ModelsEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transport model/engine matrix skipped in -short")
+	}
+	shape := []int{24, 24}
+	so, nt := 4, 20
+	for _, name := range []string{"acoustic", "elastic", "tti"} {
+		for _, engine := range []string{core.EngineBytecode, core.EngineInterpreter} {
+			name, engine := name, engine
+			t.Run(name+"/"+engine, func(t *testing.T) {
+				in := runDMPInproc(t, name, engine, shape, halo.ModeDiagonal, so, nt, 1)
+				tc := runDMPTCP(t, name, engine, shape, halo.ModeDiagonal, so, nt, 1)
+				requireIdentical(t, name+"/"+engine, in, tc)
+			})
+		}
+	}
+}
+
+// TestTransportDifferential_SerialAgreement closes the loop: the TCP
+// 4-rank norm must match the serial norm to the same 1e-9 relative
+// tolerance the in-process distributed suite is held to.
+func TestTransportDifferential_SerialAgreement(t *testing.T) {
+	shape := []int{24, 24}
+	so, nt := 4, 20
+	m, err := Build("acoustic", serialCfg(shape, so))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: nt, NReceivers: 4, Engine: core.EngineBytecode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := runDMPTCP(t, "acoustic", core.EngineBytecode, shape, halo.ModeDiagonal, so, nt, 1)
+	rel := (tc.norm - res.Norm) / res.Norm
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-9 {
+		t.Errorf("TCP 4-rank norm %v vs serial %v: relative error %g > 1e-9", tc.norm, res.Norm, rel)
+	}
+}
