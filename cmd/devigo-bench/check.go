@@ -26,13 +26,19 @@ import (
 //	autotune         both autotune groups
 //	timetile         bit-exactness and message-amortization ratios
 //	transport        inproc-vs-TCP bit-exactness, traffic parity, schema sanity
+//	fwiservice         shot-stack bit-exactness, compile-count == unique
+//	                   schedules, cache hit rate == (N-1)/N
+//	fwiservice-timing  amortized speedup >= 2x over the cold baseline;
+//	                   worker scaling >= 2x at 4 workers when the
+//	                   generating host had >= 4 cores
 //
-// The split autotune groups let CI retry the timing half (noisy on a
-// preempted shared runner) without ever retrying a correctness failure.
+// The split autotune and fwiservice groups let CI retry the timing half
+// (noisy on a preempted shared runner) without ever retrying a
+// correctness failure.
 func runCheck(dir, only string, models []string) error {
 	groups := map[string]bool{}
 	if only == "" {
-		only = "exec,adjoint,autotune,timetile,transport"
+		only = "exec,adjoint,autotune,timetile,transport,fwiservice"
 	}
 	for _, g := range strings.Split(only, ",") {
 		g = strings.TrimSpace(g)
@@ -42,7 +48,8 @@ func runCheck(dir, only string, models []string) error {
 			continue
 		}
 		switch g {
-		case "exec", "adjoint", "autotune-exact", "autotune-timing", "timetile", "transport":
+		case "exec", "adjoint", "autotune-exact", "autotune-timing", "timetile", "transport",
+			"fwiservice", "fwiservice-timing":
 			groups[g] = true
 		default:
 			return fmt.Errorf("unknown check group %q", g)
@@ -77,6 +84,11 @@ func runCheck(dir, only string, models []string) error {
 	if groups["transport"] {
 		checked++
 		checkTransportFile(filepath.Join(dir, "BENCH_transport.json"), add)
+	}
+	if groups["fwiservice"] || groups["fwiservice-timing"] {
+		checked++
+		checkFWIServiceFile(filepath.Join(dir, "BENCH_fwiservice.json"),
+			groups["fwiservice"], groups["fwiservice-timing"], add)
 	}
 	if checked == 0 {
 		return fmt.Errorf("-only %q selected no gate group", only)
@@ -260,6 +272,77 @@ func checkTransportFile(path string, add func(file, msg string)) {
 	}
 	if r.SerialRelError > 1e-9 {
 		add(name, fmt.Sprintf("serial_rel_error = %g, want <= 1e-9", r.SerialRelError))
+	}
+}
+
+// checkFWIServiceFile validates the shot-parallel service report. The
+// hard half holds deterministically on any machine: every sweep point's
+// stacked gradient is bit-identical to the cold sequential baseline, the
+// compile count equals the unique-schedule count at every worker count
+// (the singleflight guarantee), and the cache arithmetic is exact —
+// misses == unique schedules, hit rate == (N-1)/N. The timing half gates
+// the amortized speedup (cached service vs compile-per-shot baseline)
+// at 2x, and additionally gates pure worker scaling at 2x for 4 workers
+// — but only when the generating host recorded >= 4 cores, because a
+// smaller container caps worker parallelism physically, not logically.
+func checkFWIServiceFile(path string, hard, timing bool, add func(file, msg string)) {
+	const name = "BENCH_fwiservice.json"
+	var r FWIServiceReport
+	if !loadReport(path, &r, add) {
+		return
+	}
+	if hard {
+		if r.Scenario != "fwiservice" {
+			add(name, fmt.Sprintf("scenario = %q, want \"fwiservice\"", r.Scenario))
+		}
+		if r.Shots < 2 {
+			add(name, fmt.Sprintf("shots = %d, want >= 2", r.Shots))
+		}
+		if r.UniqueSchedules != 3 {
+			add(name, fmt.Sprintf("unique_schedules = %d, want 3 (forward, adjoint, imaging)", r.UniqueSchedules))
+		}
+		if r.ColdSeconds <= 0 {
+			add(name, fmt.Sprintf("cold_seconds = %v, want > 0", r.ColdSeconds))
+		}
+		if len(r.Sweep) < 3 {
+			add(name, fmt.Sprintf("%d sweep points, want >= 3 (workers 1, 2, 4)", len(r.Sweep)))
+		}
+		for _, pt := range r.Sweep {
+			tag := fmt.Sprintf("sweep[workers=%d]", pt.Workers)
+			if !pt.BitExact {
+				add(name, tag+": bit_exact_vs_sequential = false")
+			}
+			if pt.ShotsPerSec <= 0 {
+				add(name, fmt.Sprintf("%s: shots_per_sec = %v, want > 0", tag, pt.ShotsPerSec))
+			}
+			if pt.OpCompiles != int64(r.UniqueSchedules) {
+				add(name, fmt.Sprintf("%s: op_compiles = %d, want %d (one per unique schedule)",
+					tag, pt.OpCompiles, r.UniqueSchedules))
+			}
+			if pt.OpcacheMisses != int64(r.UniqueSchedules) {
+				add(name, fmt.Sprintf("%s: opcache_misses = %d, want %d",
+					tag, pt.OpcacheMisses, r.UniqueSchedules))
+			}
+			if want := int64(r.UniqueSchedules * (r.Shots - 1)); pt.OpcacheHits != want {
+				add(name, fmt.Sprintf("%s: opcache_hits = %d, want %d = schedules*(N-1)",
+					tag, pt.OpcacheHits, want))
+			}
+		}
+		if r.Obs.Total.ShotsDone <= 0 {
+			add(name, "obs.total.shots_done = 0, want > 0 (metrics registry not embedded)")
+		}
+	}
+	if timing {
+		if r.AmortizedSpeedup < 2 {
+			add(name, fmt.Sprintf("amortized_speedup = %.2f, want >= 2 (cached service vs compile-per-shot baseline)",
+				r.AmortizedSpeedup))
+		}
+		for _, pt := range r.Sweep {
+			if pt.Workers == 4 && r.HostCores >= 4 && pt.SpeedupVs1Worker < 2 {
+				add(name, fmt.Sprintf("sweep[workers=4]: speedup_vs_1worker = %.2f on a %d-core host, want >= 2",
+					pt.SpeedupVs1Worker, r.HostCores))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"devigo/internal/obs"
+	"devigo/internal/opcache"
+	"devigo/internal/propagators"
+)
+
+// FWIServiceSweepPoint is one worker-count measurement of the cached
+// shot-parallel service.
+type FWIServiceSweepPoint struct {
+	// Workers is the scheduler pool size of this run.
+	Workers int `json:"workers"`
+	// Seconds is the survey wall time and ShotsPerSec its inverse rate.
+	Seconds     float64 `json:"seconds"`
+	ShotsPerSec float64 `json:"shots_per_sec"`
+	// SpeedupVsCold is shots/sec against the cold sequential baseline
+	// (compile + autotune per shot); SpeedupVs1Worker isolates pure
+	// worker-pool scaling within the cached service.
+	SpeedupVsCold    float64 `json:"speedup_vs_cold"`
+	SpeedupVs1Worker float64 `json:"speedup_vs_1worker"`
+	// BitExact records that the stacked gradient matched the cold
+	// sequential baseline bit for bit.
+	BitExact bool `json:"bit_exact_vs_sequential"`
+	// OpCompiles is the obs compile counter over this run: with a shared
+	// cache it must equal the survey's unique schedule count at any
+	// worker count (the singleflight guarantee).
+	OpCompiles int64 `json:"op_compiles"`
+	// OpcacheHits / OpcacheMisses / HitRate snapshot the cache counters;
+	// an N-shot survey must show misses == unique schedules and hit rate
+	// == (N-1)/N.
+	OpcacheHits   int64   `json:"opcache_hits"`
+	OpcacheMisses int64   `json:"opcache_misses"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// FWIServiceReport is the BENCH_fwiservice.json schema: a cold sequential
+// baseline and a worker-count sweep of the cached shot-parallel service,
+// with the cache/compile accounting CI gates on.
+type FWIServiceReport struct {
+	Scenario           string `json:"scenario"`
+	Shape              []int  `json:"shape"`
+	SpaceOrder         int    `json:"space_order"`
+	NT                 int    `json:"nt"`
+	Shots              int    `json:"shots"`
+	CheckpointInterval int    `json:"checkpoint_interval"`
+	// Autotune is the per-operator tuning policy; the service caches the
+	// tuned configuration alongside the kernels, so the cold baseline
+	// re-tunes every shot and the cached runs tune once per schedule.
+	Autotune string `json:"autotune"`
+	// HostCores is runtime.NumCPU() where this file was generated: the
+	// worker-scaling gate is enforced only when the host had at least as
+	// many cores as workers (a 1-core container caps pure worker
+	// parallelism at 1x no matter how correct the scheduler is).
+	HostCores int `json:"host_cores"`
+	// UniqueSchedules is the number of distinct operator schedules per
+	// shot (forward, adjoint, imaging = 3) — the expected compile count
+	// for the whole cached survey.
+	UniqueSchedules int `json:"unique_schedules"`
+	// ColdSeconds / ColdShotsPerSec measure the baseline: workers=1,
+	// cache off, so every shot pays compilation and autotuning.
+	ColdSeconds     float64 `json:"cold_seconds"`
+	ColdShotsPerSec float64 `json:"cold_shots_per_sec"`
+	// AmortizedSpeedup is the best cached sweep point against the cold
+	// baseline — the figure the service exists for (compile/tune once,
+	// solve N times).
+	AmortizedSpeedup float64                `json:"amortized_speedup"`
+	Sweep            []FWIServiceSweepPoint `json:"sweep"`
+	// Obs embeds the metrics registry of the last sweep run (shot queue,
+	// cache and compile counters).
+	Obs obs.Metrics `json:"obs"`
+}
+
+// fwiShots lays out n sources on a diagonal line through the interior,
+// the survey geometry of the benchmark.
+func fwiShots(n, size int) []propagators.Shot {
+	shots := make([]propagators.Shot, n)
+	for i := range shots {
+		frac := 0.25 + 0.5*float64(i)/float64(max(n-1, 1))
+		shots[i] = propagators.Shot{SourceCoords: []float64{
+			float64(size-1) * frac, float64(size-1) * (1 - frac),
+		}}
+	}
+	return shots
+}
+
+// runFWIService measures the shot-parallel FWI service: a cold sequential
+// baseline (cache off — every shot compiles and autotunes its three
+// operators), then the cached service at 1, 2 and 4 workers, certifying
+// every stacked gradient bit-identical to the baseline and the compile
+// count equal to the unique schedule count. Writes BENCH_fwiservice.json.
+func runFWIService(size, nt, nshots int, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	// A 16th-order stencil is the service's home regime: at high space
+	// order the symbolic front-end (exact-rational FD coefficient solves)
+	// dominates per-shot operator construction, which is exactly the cost
+	// the shared cache amortizes across the survey.
+	const so = 16
+	cfg := propagators.Config{Shape: []int{size, size}, SpaceOrder: so, NBL: 8, Velocity: 1.5}
+	gc := propagators.GradientConfig{
+		NT: nt, NReceivers: 8, CheckpointInterval: 4, Autotune: "search",
+	}
+	report := FWIServiceReport{
+		Scenario: "fwiservice", Shape: cfg.Shape, SpaceOrder: so, NT: nt,
+		Shots: nshots, CheckpointInterval: gc.CheckpointInterval,
+		Autotune: gc.Autotune, HostCores: runtime.NumCPU(),
+		UniqueSchedules: 3, // forward, adjoint, imaging
+	}
+	survey := func(workers int, cache *opcache.Cache) (*propagators.ShotsResult, float64, error) {
+		start := time.Now()
+		res, err := propagators.RunShots("acoustic", cfg, propagators.ShotsConfig{
+			Gradient: gc, Shots: fwiShots(nshots, size), Workers: workers, Cache: cache,
+		})
+		return res, time.Since(start).Seconds(), err
+	}
+
+	// The cold baseline is the pre-service workflow: a sequential loop in
+	// which every shot compiles and tunes privately. DEVIGO_OPCACHE=off is
+	// the documented switch for that behavior.
+	if err := os.Setenv(opcache.EnvVar, "off"); err != nil {
+		return err
+	}
+	cold, coldSec, err := survey(1, nil)
+	if err := os.Unsetenv(opcache.EnvVar); err != nil {
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("cold baseline: %w", err)
+	}
+	report.ColdSeconds = coldSec
+	report.ColdShotsPerSec = float64(nshots) / coldSec
+	fmt.Printf("FWI service, %dx%d so-%02d, %d shots x %d steps (this machine, %d cores)\n",
+		size, size, so, nshots, nt, report.HostCores)
+	fmt.Printf("%-22s %10s %12s %10s %10s\n", "run", "seconds", "shots/sec", "vs cold", "compiles")
+	fmt.Printf("%-22s %10.3f %12.3f %10s %10s\n", "cold sequential", coldSec,
+		report.ColdShotsPerSec, "1.00x", fmt.Sprint(3*nshots))
+
+	for _, workers := range []int{1, 2, 4} {
+		obs.EnableMetrics()
+		obs.Reset()
+		res, sec, err := survey(workers, opcache.New())
+		if err != nil {
+			return fmt.Errorf("cached survey (%d workers): %w", workers, err)
+		}
+		snap := obs.Snapshot()
+		obs.DisableAll()
+		obs.Reset()
+		bitExact := len(res.Gradient) == len(cold.Gradient)
+		for i := range res.Gradient {
+			if res.Gradient[i] != cold.Gradient[i] {
+				bitExact = false
+				break
+			}
+		}
+		pt := FWIServiceSweepPoint{
+			Workers: workers, Seconds: sec,
+			ShotsPerSec:   float64(nshots) / sec,
+			SpeedupVsCold: coldSec / sec,
+			BitExact:      bitExact,
+			OpCompiles:    snap.Total.OpCompiles,
+			OpcacheHits:   res.CacheStats.Hits,
+			OpcacheMisses: res.CacheStats.Misses,
+			HitRate:       res.CacheStats.HitRate(),
+		}
+		if len(report.Sweep) > 0 {
+			pt.SpeedupVs1Worker = report.Sweep[0].Seconds / sec
+		} else {
+			pt.SpeedupVs1Worker = 1
+		}
+		report.Sweep = append(report.Sweep, pt)
+		report.Obs = snap
+		fmt.Printf("%-22s %10.3f %12.3f %9.2fx %10d\n",
+			fmt.Sprintf("cached, %d worker(s)", workers), sec, pt.ShotsPerSec,
+			pt.SpeedupVsCold, pt.OpCompiles)
+	}
+	best := 0.0
+	for _, pt := range report.Sweep {
+		if pt.SpeedupVsCold > best {
+			best = pt.SpeedupVsCold
+		}
+	}
+	report.AmortizedSpeedup = best
+	fmt.Printf("amortized speedup (best cached vs cold): %.2fx\n", best)
+
+	path := filepath.Join(outDir, "BENCH_fwiservice.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

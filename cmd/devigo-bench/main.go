@@ -54,6 +54,15 @@
 //
 //	devigo-bench -exp transport -size 64 -nt 30 -out .
 //
+// -exp fwiservice benchmarks the shot-parallel FWI service: a cold
+// sequential baseline (every shot compiles and autotunes its three
+// operators privately) against the cached service at 1, 2 and 4 workers,
+// certifying every stacked gradient bit-identical to the baseline and the
+// compile count equal to the unique-schedule count, and writing
+// BENCH_fwiservice.json (shots/sec, amortized speedup, cache hit rates):
+//
+//	devigo-bench -exp fwiservice -size 36 -nt 8 -shots 8 -out .
+//
 // -exp observatory runs the continuous perf observatory: a compact
 // measured sweep (scenario x ranks x halo mode x exchange interval),
 // appended to a stored run history with regression detection against the
@@ -86,17 +95,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|transport|observatory|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|transport|fwiservice|observatory|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
 	size := flag.Int("size", 256, "exec/adjoint: square grid extent per side")
 	nt := flag.Int("nt", 30, "exec/adjoint: timesteps to measure")
 	ckpt := flag.Int("ckpt", 0, "adjoint: checkpoint interval (0 = sqrt(nt))")
+	shots := flag.Int("shots", 8, "fwiservice: number of shots in the survey")
 	out := flag.String("out", ".", "exec/adjoint/observatory: directory for BENCH_*.json")
 	check := flag.Bool("check", false, "validate BENCH_*.json gates in -dir instead of running an experiment")
 	dir := flag.String("dir", ".", "check: directory holding the BENCH_*.json files")
-	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile,transport)")
+	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile,transport,fwiservice,fwiservice-timing)")
 	history := flag.String("history", "", "observatory: run-history JSON path (default <out>/BENCH_history.json)")
 	regressWarn := flag.Bool("regress-warn", false, "observatory: report regressions as warnings instead of failing")
 	flag.Parse()
@@ -109,7 +119,7 @@ func main() {
 			}
 			return runCheck(*dir, *only, models)
 		}
-		return run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *out, *history, *regressWarn)
+		return run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *shots, *out, *history, *regressWarn)
 	}()
 	if ferr := obs.FlushEnv(); ferr != nil && err == nil {
 		err = ferr
@@ -122,7 +132,7 @@ func main() {
 
 // run dispatches one experiment; any failure propagates to a non-zero
 // exit so CI jobs consuming the tool can actually fail.
-func run(exp, model, arch, soFlag string, size, nt, ckpt int, out, history string, regressWarn bool) error {
+func run(exp, model, arch, soFlag string, size, nt, ckpt, shots int, out, history string, regressWarn bool) error {
 	sos, err := parseSOs(soFlag)
 	if err != nil {
 		return err
@@ -164,6 +174,8 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt int, out, history strin
 		return runObservatory(out, history, regressWarn)
 	case "transport":
 		return runTransport(size, nt, out)
+	case "fwiservice":
+		return runFWIService(size, nt, shots, out)
 	case "transport-worker":
 		// Internal: one TCP rank process of -exp transport, spawned by
 		// the launcher with the rendezvous environment set.

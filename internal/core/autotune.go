@@ -201,6 +201,7 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 		}
 		op.tuned = true
 		op.tunePolicy = policy
+		op.storeTuneConfig(plan[0])
 		return nil
 	}
 	// One untimed warmup step before the first trial: the very first
@@ -283,6 +284,7 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 	}
 	op.tuned = true
 	op.tunePolicy = policy
+	op.storeTuneConfig(cfg)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"devigo/internal/ir"
 	"devigo/internal/mpi"
 	"devigo/internal/obs"
+	"devigo/internal/opcache"
 	"devigo/internal/runtime"
 	"devigo/internal/symbolic"
 )
@@ -95,6 +96,12 @@ type Operator struct {
 	// stepExt[i] is the box extension (points beyond DOMAIN per side) for
 	// step i: nonzero only for CIRE scratch clusters.
 	stepExt []int
+	// cache/cacheKey attach the operator to a compiled-artifact cache
+	// (Options.Cache): kernels are fetched or published under the
+	// canonical schedule hash, and the autotuner's chosen configuration
+	// is shared through the same key.
+	cache    *opcache.Cache
+	cacheKey string
 	// invariants are the hoisted loop-invariant scalars (r0 = 1/dt ...),
 	// evaluated once per Apply and bound like user symbols.
 	invariants []symbolic.Assignment
@@ -164,6 +171,14 @@ type Options struct {
 	// to 1 for untileable schedules and serial contexts). 0 consults the
 	// DEVIGO_TIME_TILE environment variable, then defaults to 1.
 	TimeTile int
+	// Cache attaches a compiled-operator cache: kernel sets are stored
+	// and fetched under the canonical ScheduleKey (compiled once per
+	// unique equation set and rebound to each operator's fields), and the
+	// autotuner's chosen configuration is shared through the same key.
+	// Nil (the default) compiles privately — existing callers see zero
+	// behavior change; the shot-parallel FWI service injects one cache
+	// per survey.
+	Cache *opcache.Cache
 }
 
 // NewOperator compiles equations against field storage. fields must hold
@@ -199,56 +214,77 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		decomp = ctx.Decomp
 		rank = ctx.Comm.Rank()
 	}
-	eqs, scratchExt, err := applyCIRE(eqs, fields, g, decomp, rank)
-	if err != nil {
-		return nil, err
+	// The content address of this compilation, derived from the submitted
+	// (pre-CIRE) equations: CIRE is deterministic, so hashing its inputs
+	// is equivalent to hashing its outputs and far cheaper. Only derived
+	// when a cache is attached.
+	var cache *opcache.Cache
+	cacheKey := ""
+	if opts != nil && opts.Cache != nil {
+		cache = opts.Cache
+		cacheKey = ScheduleKey(eqs, fields, g, decomp, engine, tileReq)
 	}
+	var sched *ir.Schedule
+	var scratchExt map[string]int
+	if cached, ok := cachedSchedule(cache, cacheKey); ok {
+		// Front-end bypass: a published schedule is scratch-free by
+		// construction, so CIRE, derivative expansion (the exact-rational
+		// FD coefficient solves that dominate operator construction),
+		// cluster lowering and schedule optimization are all skipped.
+		sched = cached
+	} else {
+		eqs, scratchExt, err = applyCIRE(eqs, fields, g, decomp, rank)
+		if err != nil {
+			return nil, err
+		}
 
-	clusters, err := ir.Lower(eqs, nd)
-	if err != nil {
-		return nil, err
-	}
-	// Adjust halo requirements around CIRE scratch clusters:
-	//   - scratch fields are never exchanged (recomputed redundantly in
-	//     the extension region instead);
-	//   - a cluster computing over an *extended* box effectively reads
-	//     every input beyond the domain, so even centred reads (the trig
-	//     parameter fields of TTI) need fresh halos there.
-	if len(scratchExt) > 0 {
-		for _, c := range clusters {
-			writesScratch := false
-			for fname := range c.Writes {
-				if _, ok := scratchExt[fname]; ok {
-					writesScratch = true
+		clusters, err := ir.Lower(eqs, nd)
+		if err != nil {
+			return nil, err
+		}
+		// Adjust halo requirements around CIRE scratch clusters:
+		//   - scratch fields are never exchanged (recomputed redundantly in
+		//     the extension region instead);
+		//   - a cluster computing over an *extended* box effectively reads
+		//     every input beyond the domain, so even centred reads (the trig
+		//     parameter fields of TTI) need fresh halos there.
+		if len(scratchExt) > 0 {
+			for _, c := range clusters {
+				writesScratch := false
+				for fname := range c.Writes {
+					if _, ok := scratchExt[fname]; ok {
+						writesScratch = true
+					}
 				}
-			}
-			if writesScratch {
-				for _, e := range c.Eqs {
-					for _, a := range symbolic.Accesses(e.RHS) {
-						if _, isScratch := scratchExt[a.Fun.Name]; isScratch {
-							continue
+				if writesScratch {
+					for _, e := range c.Eqs {
+						for _, a := range symbolic.Accesses(e.RHS) {
+							if _, isScratch := scratchExt[a.Fun.Name]; isScratch {
+								continue
+							}
+							m, ok := c.HaloReads[a.Fun.Name]
+							if !ok {
+								m = map[int]bool{}
+								c.HaloReads[a.Fun.Name] = m
+							}
+							m[a.TimeOff] = true
 						}
-						m, ok := c.HaloReads[a.Fun.Name]
-						if !ok {
-							m = map[int]bool{}
-							c.HaloReads[a.Fun.Name] = m
-						}
-						m[a.TimeOff] = true
+					}
+				}
+				for fname := range c.HaloReads {
+					if _, isScratch := scratchExt[fname]; isScratch {
+						delete(c.HaloReads, fname)
 					}
 				}
 			}
-			for fname := range c.HaloReads {
-				if _, isScratch := scratchExt[fname]; isScratch {
-					delete(c.HaloReads, fname)
-				}
-			}
 		}
+		isTime := func(fname string) bool {
+			f, ok := fields[fname]
+			return ok && len(f.Bufs) > 1
+		}
+		sched = ir.OptimizeSchedule(ir.BuildSchedule(clusters, nd, isTime), isTime)
+		storeSchedule(cache, cacheKey, sched, len(scratchExt) > 0)
 	}
-	isTime := func(fname string) bool {
-		f, ok := fields[fname]
-		return ok && len(f.Bufs) > 1
-	}
-	sched := ir.OptimizeSchedule(ir.BuildSchedule(clusters, nd, isTime), isTime)
 	mode := halo.ModeNone
 	if ctx != nil && !ctx.Serial() {
 		mode = ctx.Mode
@@ -263,6 +299,8 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 		mode:       mode,
 		exchangers: map[string]halo.Exchanger{},
 		baseHalo:   map[string][]int{},
+		cache:      cache,
+		cacheKey:   cacheKey,
 	}
 	op.perf.Engine = engine
 	op.hasScratch = len(scratchExt) > 0
@@ -312,13 +350,24 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 			op.invariants = append(op.invariants, symbolic.Assignment{Name: sa.Name, Value: sa.Value})
 		}
 	}
-	for i, st := range sched.Steps {
-		k, err := compileStep(engine, nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
-		if err != nil {
-			return nil, err
+	compileAll := func() ([]execKernel, error) {
+		ks := make([]execKernel, 0, len(sched.Steps))
+		for i, st := range sched.Steps {
+			k, err := compileStep(engine, nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
+			if err != nil {
+				return nil, err
+			}
+			ks = append(ks, k)
 		}
-		op.kernels = append(op.kernels, k)
-		op.perf.FlopsPerPoint += k.FlopsPerPoint()
+		return ks, nil
+	}
+	kernels, err := op.compileKernels(engine, compileAll)
+	if err != nil {
+		return nil, err
+	}
+	op.kernels = kernels
+	for i, st := range sched.Steps {
+		op.perf.FlopsPerPoint += op.kernels[i].FlopsPerPoint()
 		ext := 0
 		for fname := range st.Cluster.Writes {
 			if e, ok := scratchExt[fname]; ok && e > ext {
@@ -594,6 +643,25 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 	policy, err := resolveAutotune(a.Autotune)
 	if err != nil {
 		return err
+	}
+	if policy != AutotuneOff && !op.tuned {
+		// A sibling operator sharing this schedule key may already have
+		// tuned: adopt its configuration and skip the warmup/trial steps
+		// entirely — the cached choice is bit-exact like every candidate.
+		if cfg, ok := op.cachedTuneConfig(); ok {
+			if err := op.adopt(cfg); err != nil {
+				return err
+			}
+			op.tuned = true
+			op.tunePolicy = policy
+			if rank == 0 {
+				obs.RecordDecision(obs.Decision{
+					Policy: policy + "-cached",
+					Config: cfg.String(),
+					Chosen: true,
+				})
+			}
+		}
 	}
 	if policy != AutotuneOff && !op.tuned {
 		// Snapshot the counters around self-configuration and move the

@@ -70,13 +70,16 @@ const (
 	PhaseAutotuneTrial
 	// PhaseWarmup is the untimed cache-warming step before the first trial.
 	PhaseWarmup
+	// PhaseShot is one whole FWI shot dispatched by the shot scheduler
+	// (a checkpointed forward + adjoint gradient in its own world).
+	PhaseShot
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"compute", "shell", "exchange", "pack", "send", "wait", "unpack",
-	"ckpt_save", "ckpt_restore", "autotune_trial", "warmup",
+	"ckpt_save", "ckpt_restore", "autotune_trial", "warmup", "shot",
 }
 
 // String returns the phase's trace-event name.
@@ -120,6 +123,20 @@ const (
 	// CtrInstrsPerPoint is a gauge (set, not added): the compiled
 	// operator's summed per-point VM instruction count.
 	CtrInstrsPerPoint
+	// CtrOpCompiles counts kernel-set compilations actually performed —
+	// with the operator cache on, exactly one per unique schedule key.
+	CtrOpCompiles
+	// CtrOpCacheHits counts operator constructions served by rebinding a
+	// cached kernel set instead of compiling.
+	CtrOpCacheHits
+	// CtrOpCacheMisses counts operator constructions that found no cached
+	// kernel set (and therefore compiled one).
+	CtrOpCacheMisses
+	// CtrShotsDone counts FWI shots completed by the shot scheduler.
+	CtrShotsDone
+	// CtrShotWorkers is a gauge (set, not added): the shot scheduler's
+	// effective concurrent worker-pool size.
+	CtrShotWorkers
 
 	numCtrs
 )
@@ -287,12 +304,13 @@ func (s Span) End() {
 }
 
 // Add accumulates v into a rank's counter (no-op when recording is off).
-// CtrInstrsPerPoint is a gauge: Add overwrites instead of accumulating.
+// The gauge counters (CtrInstrsPerPoint, CtrShotWorkers) overwrite
+// instead of accumulating.
 func Add(rank int, c Ctr, v int64) {
 	if mode.Load() == modeOff {
 		return
 	}
-	if c == CtrInstrsPerPoint {
+	if c == CtrInstrsPerPoint || c == CtrShotWorkers {
 		forRank(rank).ctr[c].Store(v)
 		return
 	}

@@ -1,0 +1,115 @@
+package opcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New()
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	const callers = 16
+	vals := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() (any, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d saw %v, want 42", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits, 1 entry", st, callers-1)
+	}
+	if got := st.HitRate(); got != float64(callers-1)/float64(callers) {
+		t.Fatalf("hit rate = %v, want %v", got, float64(callers-1)/float64(callers))
+	}
+}
+
+func TestGetOrComputeHitFlag(t *testing.T) {
+	c := New()
+	_, hit, _ := c.GetOrCompute("k", func() (any, error) { return 1, nil })
+	if hit {
+		t.Fatal("first call reported a hit")
+	}
+	v, hit, _ := c.GetOrCompute("k", func() (any, error) { return 2, nil })
+	if !hit || v != 1 {
+		t.Fatalf("second call: hit=%v v=%v, want hit=true v=1", hit, v)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New()
+	_, _, err := c.GetOrCompute("k", func() (any, error) { return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("expected compute error")
+	}
+	v, hit, err := c.GetOrCompute("k", func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry after error: v=%v hit=%v err=%v, want fresh compute", v, hit, err)
+	}
+}
+
+func TestPutAndGet(t *testing.T) {
+	c := New()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get on empty cache reported a value")
+	}
+	c.Put("k", "v1")
+	if v, ok := c.Get("k"); !ok || v != "v1" {
+		t.Fatalf("Get = %v, %v after Put", v, ok)
+	}
+	c.Put("k", "v2")
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Fatalf("Put did not replace: got %v", v)
+	}
+	// Get/Put are unaccounted paths.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Get/Put perturbed stats: %+v", st)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	for _, tc := range []struct {
+		val     string
+		enabled bool
+		wantErr bool
+	}{
+		{"", true, false}, {"on", true, false}, {"1", true, false},
+		{"off", false, false}, {"0", false, false}, {"banana", false, true},
+	} {
+		t.Setenv(EnvVar, tc.val)
+		c, err := FromEnv()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("FromEnv(%q): expected a vocabulary error", tc.val)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FromEnv(%q): %v", tc.val, err)
+		}
+		if (c != nil) != tc.enabled {
+			t.Errorf("FromEnv(%q): enabled=%v, want %v", tc.val, c != nil, tc.enabled)
+		}
+	}
+}

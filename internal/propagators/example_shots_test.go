@@ -1,0 +1,46 @@
+package propagators_test
+
+import (
+	"fmt"
+
+	"devigo/internal/opcache"
+	"devigo/internal/propagators"
+)
+
+// ExampleRunShots runs a small shot-parallel FWI gradient survey: four
+// shots over one acoustic model, two shots in flight at a time, sharing a
+// compiled-operator cache. The three gradient schedules (forward, adjoint,
+// imaging) compile exactly once for the whole survey, and the stacked
+// gradient is bit-identical to a sequential loop at any worker count.
+func ExampleRunShots() {
+	cfg := propagators.Config{Shape: []int{24, 24}, SpaceOrder: 2, NBL: 0, Velocity: 1}
+	survey := propagators.ShotsConfig{
+		Gradient: propagators.GradientConfig{
+			NT:                 8,
+			Wavelet:            []float32{1, -2, 1},
+			ReceiverCoords:     [][]float64{{6, 5}, {11, 9}, {15, 14}, {17, 16}},
+			CheckpointInterval: 3,
+		},
+		Shots: []propagators.Shot{
+			{SourceCoords: []float64{8, 8}},
+			{SourceCoords: []float64{12, 12}},
+			{SourceCoords: []float64{16, 15}},
+			{SourceCoords: []float64{18, 6}},
+		},
+		Workers: 2,
+		Cache:   opcache.New(),
+	}
+	res, err := propagators.RunShots("acoustic", cfg, survey)
+	if err != nil {
+		fmt.Println("survey failed:", err)
+		return
+	}
+	fmt.Printf("shots: %d  workers: %d\n", len(res.Shots), res.Workers)
+	fmt.Printf("schedules compiled: %d  cache hit rate: %.0f%%\n",
+		res.CacheStats.Misses, 100*res.CacheStats.HitRate())
+	fmt.Printf("stacked gradient norm > 0: %v\n", res.GradNorm > 0)
+	// Output:
+	// shots: 4  workers: 2
+	// schedules compiled: 3  cache hit rate: 75%
+	// stacked gradient norm > 0: true
+}

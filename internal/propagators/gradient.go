@@ -6,6 +6,7 @@ import (
 	"devigo/internal/checkpoint"
 	"devigo/internal/core"
 	"devigo/internal/field"
+	"devigo/internal/opcache"
 	"devigo/internal/symbolic"
 )
 
@@ -50,6 +51,11 @@ type GradientConfig struct {
 	// at a time, so a search request degrades gracefully to the model's
 	// top choice there.
 	Autotune string
+	// Cache attaches a compiled-operator cache shared by the forward,
+	// adjoint and imaging operators (core.Options.Cache): across shots of
+	// one survey, each of the three schedules compiles exactly once. Nil
+	// compiles privately.
+	Cache *opcache.Cache
 }
 
 // GradientResult carries the outputs of a gradient computation.
@@ -122,6 +128,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		TimeTile: gc.TimeTile,
 		Engine:   gc.Engine,
 		Autotune: gc.Autotune,
+		Cache:    gc.Cache,
 	}
 	fres, err := Run(m, ctx, rc)
 	if err != nil {
@@ -159,7 +166,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 	}
 	adjOp, err := core.NewOperator(adj.Eqs, adj.Fields, adj.Grid, ctx,
 		&core.Options{Name: adj.Name, Workers: gc.Workers, TileRows: gc.TileRows,
-			TimeTile: gc.TimeTile, Engine: gc.Engine})
+			TimeTile: gc.TimeTile, Engine: gc.Engine, Cache: gc.Cache})
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +296,8 @@ func imagingOperator(fwd, adj *Model, ctx *core.Context, gc *GradientConfig) (*f
 		"grad": grad, u.Name: u, v.Name: v,
 	}
 	op, err := core.NewOperator([]symbolic.Eq{eq}, fields, fwd.Grid, ctx,
-		&core.Options{Name: "imaging", Workers: gc.Workers, TileRows: gc.TileRows, Engine: gc.Engine})
+		&core.Options{Name: "imaging", Workers: gc.Workers, TileRows: gc.TileRows,
+			Engine: gc.Engine, Cache: gc.Cache})
 	if err != nil {
 		return nil, nil, err
 	}

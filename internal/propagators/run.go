@@ -8,6 +8,7 @@ import (
 	"devigo/internal/core"
 	"devigo/internal/field"
 	"devigo/internal/mpi"
+	"devigo/internal/opcache"
 	"devigo/internal/sparse"
 )
 
@@ -48,6 +49,10 @@ type RunConfig struct {
 	// core.ApplyOpts.Autotune: "model", "search" or "off" ("" consults
 	// DEVIGO_AUTOTUNE).
 	Autotune string
+	// Cache attaches a compiled-operator cache (core.Options.Cache):
+	// kernel compilation and autotune decisions are shared across runs
+	// with the same schedule key. Nil compiles privately.
+	Cache *opcache.Cache
 }
 
 // RunResult carries the outputs of a forward run.
@@ -83,7 +88,7 @@ func Run(m *Model, ctx *core.Context, rc RunConfig) (*RunResult, error) {
 	}
 	op, err := core.NewOperator(m.Eqs, m.Fields, m.Grid, ctx,
 		&core.Options{Name: m.Name, Workers: rc.Workers, TileRows: rc.TileRows,
-			TimeTile: rc.TimeTile, Engine: rc.Engine})
+			TimeTile: rc.TimeTile, Engine: rc.Engine, Cache: rc.Cache})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,318 @@
+package propagators
+
+import (
+	"testing"
+
+	"devigo/internal/grid"
+	"devigo/internal/obs"
+	"devigo/internal/opcache"
+)
+
+// surveyConfig is the shared grid/velocity configuration of the shot
+// tests; RunShots owns the decomposition, so Decomp/Rank stay unset.
+func surveyConfig() Config {
+	return Config{Shape: []int{24, 24}, SpaceOrder: 2, NBL: 0, Velocity: 1}
+}
+
+// surveyShots is a small survey with per-shot source positions.
+func surveyShots() []Shot {
+	return []Shot{
+		{SourceCoords: []float64{8, 8}},
+		{SourceCoords: []float64{12, 12}},
+		{SourceCoords: []float64{16, 15}},
+	}
+}
+
+func surveyGradient() GradientConfig {
+	return GradientConfig{
+		NT:                 8,
+		Wavelet:            []float32{1, -2, 1},
+		ReceiverCoords:     [][]float64{{6, 5}, {11, 9}, {15, 14}, {17, 16}},
+		CheckpointInterval: 3,
+	}
+}
+
+// sequentialStack is the reference the service must reproduce bit for bit:
+// an explicit loop over RunGradient — fresh model, fresh operators, no
+// cache, no scheduler — stacked in shot order.
+func sequentialStack(t *testing.T, cfg Config, gc GradientConfig, shots []Shot) ([]float32, []float64) {
+	t.Helper()
+	total := 1
+	for _, s := range cfg.Shape {
+		total *= s
+	}
+	stack := make([]float32, total)
+	misfits := make([]float64, 0, len(shots))
+	for _, s := range shots {
+		g := gc
+		if s.SourceCoords != nil {
+			g.SourceCoords = s.SourceCoords
+		}
+		if s.ObsData != nil {
+			g.ObsData = s.ObsData
+		}
+		m, err := Build("acoustic", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunGradient(m, nil, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := make([]float32, total)
+		scatterOwned(grad, cfg.Shape, res.Gradient, 0)
+		for i, v := range grad {
+			stack[i] += v
+		}
+		misfits = append(misfits, misfitOf(res.Receivers, s.ObsData))
+	}
+	return stack, misfits
+}
+
+// TestRunShotsBitExactSerial: the serial-per-shot service must reproduce
+// the explicit sequential loop bit for bit — for both engines, with and
+// without time tiling, at every worker count, cache on or off.
+func TestRunShotsBitExactSerial(t *testing.T) {
+	for _, engine := range engines() {
+		for _, k := range []int{1, 4} {
+			t.Run(engine+"/k="+string(rune('0'+k)), func(t *testing.T) {
+				cfg := surveyConfig()
+				gc := surveyGradient()
+				gc.Engine = engine
+				gc.TimeTile = k
+				want, wantMisfits := sequentialStack(t, cfg, gc, surveyShots())
+				for _, workers := range []int{1, 3} {
+					res, err := RunShots("acoustic", cfg, ShotsConfig{
+						Gradient: gc, Shots: surveyShots(),
+						Workers: workers, Cache: opcache.New(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Workers != workers {
+						t.Errorf("workers=%d: effective pool %d", workers, res.Workers)
+					}
+					for i := range want {
+						if res.Gradient[i] != want[i] {
+							t.Fatalf("workers=%d: stack diverges from sequential loop at %d: %v vs %v",
+								workers, i, res.Gradient[i], want[i])
+						}
+					}
+					if res.GradNorm == 0 {
+						t.Fatalf("workers=%d: zero stacked gradient", workers)
+					}
+					for i, s := range res.Shots {
+						if s.Shot != i {
+							t.Fatalf("workers=%d: shot log out of order: %+v", workers, res.Shots)
+						}
+						if s.Misfit != wantMisfits[i] {
+							t.Errorf("workers=%d: shot %d misfit %v, sequential %v",
+								workers, i, s.Misfit, wantMisfits[i])
+						}
+						// Realistic (non-exact-arithmetic) config: the
+						// identity holds to float32 rounding, like
+						// TestAdjointDotProduct_Realistic.
+						if s.RelErr > 2e-5 {
+							t.Errorf("workers=%d: shot %d adjoint identity violated: rel %v",
+								workers, i, s.RelErr)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunShotsBitExactDMP: per-shot 4-rank worlds. The cached, 2-workers
+// service must match the uncached 1-worker run (a sequential compile-per-
+// shot loop over the same worlds) bit for bit.
+func TestRunShotsBitExactDMP(t *testing.T) {
+	for _, engine := range engines() {
+		for _, k := range []int{1, 4} {
+			t.Run(engine+"/k="+string(rune('0'+k)), func(t *testing.T) {
+				cfg := surveyConfig()
+				gc := surveyGradient()
+				gc.Engine = engine
+				gc.TimeTile = k
+				t.Setenv(opcache.EnvVar, "off")
+				base, err := RunShots("acoustic", cfg, ShotsConfig{
+					Gradient: gc, Shots: surveyShots(),
+					Workers: 1, Ranks: 4, Mode: "diag",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base.CacheStats.Misses != 0 {
+					t.Fatalf("cache disabled but stats = %+v", base.CacheStats)
+				}
+				res, err := RunShots("acoustic", cfg, ShotsConfig{
+					Gradient: gc, Shots: surveyShots(),
+					Workers: 2, Ranks: 4, Mode: "diag", Cache: opcache.New(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range base.Gradient {
+					if res.Gradient[i] != base.Gradient[i] {
+						t.Fatalf("cached 2-worker stack diverges from sequential at %d: %v vs %v",
+							i, res.Gradient[i], base.Gradient[i])
+					}
+				}
+				if res.GradNorm != base.GradNorm || res.Misfit != base.Misfit {
+					t.Errorf("aggregates diverge: norm %v vs %v, misfit %v vs %v",
+						res.GradNorm, base.GradNorm, res.Misfit, base.Misfit)
+				}
+				// And the 4-rank stack must equal the serial-shot stack: the
+				// imaging kernel computes identical per-point values on any
+				// decomposition.
+				serial, _ := sequentialStack(t, cfg, gc, surveyShots())
+				for i := range serial {
+					if res.Gradient[i] != serial[i] {
+						t.Fatalf("4-rank stack diverges from serial at %d: %v vs %v",
+							i, res.Gradient[i], serial[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunShotsCacheAccounting pins the service's deterministic cache
+// arithmetic: a survey of N shots compiles each of the three gradient
+// schedules (forward, adjoint, imaging) exactly once — 3 misses, 3(N-1)
+// hits, hit rate (N-1)/N — at any worker count, and the obs counters agree.
+func TestRunShotsCacheAccounting(t *testing.T) {
+	obs.EnableMetrics()
+	defer func() { obs.DisableAll(); obs.Reset() }()
+	obs.Reset()
+
+	shots := append(surveyShots(), Shot{SourceCoords: []float64{18, 6}})
+	n := len(shots)
+	cache := opcache.New()
+	res, err := RunShots("acoustic", surveyConfig(), ShotsConfig{
+		Gradient: surveyGradient(), Shots: shots, Workers: 2, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uniqueSchedules = 3
+	st := res.CacheStats
+	if st.Misses != uniqueSchedules {
+		t.Errorf("misses = %d, want %d (one per unique schedule)", st.Misses, uniqueSchedules)
+	}
+	if want := int64(uniqueSchedules * (n - 1)); st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
+	}
+	if want := float64(n-1) / float64(n); st.HitRate() != want {
+		t.Errorf("hit rate = %v, want (N-1)/N = %v", st.HitRate(), want)
+	}
+
+	total := obs.Snapshot().Total
+	if total.OpCompiles != uniqueSchedules {
+		t.Errorf("obs compile counter = %d, want %d", total.OpCompiles, uniqueSchedules)
+	}
+	if total.OpCacheMisses != uniqueSchedules || total.OpCacheHits != int64(uniqueSchedules*(n-1)) {
+		t.Errorf("obs cache counters = %d miss / %d hit, want %d / %d",
+			total.OpCacheMisses, total.OpCacheHits, uniqueSchedules, uniqueSchedules*(n-1))
+	}
+	if total.ShotsDone != int64(n) {
+		t.Errorf("obs shots-done = %d, want %d", total.ShotsDone, n)
+	}
+	if total.ShotWorkers != 2 {
+		t.Errorf("obs shot-workers gauge = %d, want 2", total.ShotWorkers)
+	}
+}
+
+// TestRunShotsResidualMisfit: a shot observing its own synthetics has zero
+// residual — zero misfit and zero gradient contribution — so the survey
+// degenerates to the remaining shots.
+func TestRunShotsResidualMisfit(t *testing.T) {
+	cfg := surveyConfig()
+	gc := surveyGradient()
+
+	// Record shot 1's synthetics by running it alone.
+	solo, err := RunShots("acoustic", cfg, ShotsConfig{
+		Gradient: gc, Shots: []Shot{{SourceCoords: []float64{12, 12}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build("acoustic", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := gc
+	g1.SourceCoords = []float64{12, 12}
+	fres, err := RunGradient(m, nil, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Misfit == 0 {
+		t.Fatal("degenerate survey: zero misfit without observed data")
+	}
+
+	shots := []Shot{
+		{SourceCoords: []float64{8, 8}},
+		{SourceCoords: []float64{12, 12}, ObsData: fres.Receivers},
+	}
+	res, err := RunShots("acoustic", cfg, ShotsConfig{Gradient: gc, Shots: shots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots[1].Misfit != 0 || res.Shots[1].GradNorm != 0 {
+		t.Errorf("self-observed shot: misfit %v, grad norm %v, want zero",
+			res.Shots[1].Misfit, res.Shots[1].GradNorm)
+	}
+	if res.Shots[0].Misfit == 0 || res.Misfit != res.Shots[0].Misfit {
+		t.Errorf("survey misfit %v should equal shot 0's %v", res.Misfit, res.Shots[0].Misfit)
+	}
+}
+
+// TestRunShotsValidation covers the service's configuration errors.
+func TestRunShotsValidation(t *testing.T) {
+	cfg := surveyConfig()
+	gc := surveyGradient()
+	if _, err := RunShots("acoustic", cfg, ShotsConfig{Gradient: gc}); err == nil {
+		t.Error("empty survey accepted")
+	}
+	g := grid.MustNew([]int{24, 24}, nil)
+	dec, err := grid.NewDecomposition(g, 4, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Decomp = dec
+	if _, err := RunShots("acoustic", bad, ShotsConfig{Gradient: gc, Shots: surveyShots()}); err == nil {
+		t.Error("pre-decomposed Config accepted; RunShots owns the decomposition")
+	}
+	if _, err := RunShots("acoustic", cfg, ShotsConfig{
+		Gradient: gc, Shots: surveyShots(), Ranks: 4, Mode: "hexagonal",
+	}); err == nil {
+		t.Error("unknown halo mode accepted")
+	}
+	t.Setenv(opcache.EnvVar, "sometimes")
+	if _, err := RunShots("acoustic", cfg, ShotsConfig{Gradient: gc, Shots: surveyShots()}); err == nil {
+		t.Errorf("invalid $%s accepted", opcache.EnvVar)
+	}
+}
+
+// TestRunShotsRace exercises the scheduler/reducer/world machinery under
+// -race via the usual short suite; the DMP variant runs concurrent worlds.
+func TestRunShotsRace(t *testing.T) {
+	if testing.Short() {
+		// Keep the -short race pass cheap: serial shots, 3 workers.
+		_, err := RunShots("acoustic", surveyConfig(), ShotsConfig{
+			Gradient: surveyGradient(), Shots: surveyShots(), Workers: 3, Cache: opcache.New(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	_, err := RunShots("acoustic", surveyConfig(), ShotsConfig{
+		Gradient: surveyGradient(), Shots: surveyShots(), Workers: 3, Ranks: 4, Cache: opcache.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package shotsched is the shot-level scheduler of the FWI service: the
+// work tier sitting *above* the rank-level domain decomposition. Where a
+// DMP world splits one wave-propagation solve across ranks, shotsched
+// dispatches N independent solves ("shots" — each typically a
+// propagators.RunGradient in its own in-process MPI world) across a
+// bounded pool of concurrent worker groups, and streams their results
+// through a reduction callback in strictly ascending shot order.
+//
+// The ordering guarantee is the package's whole point: floating-point
+// accumulation is not associative, so a gradient stack folded in
+// completion order would differ between runs and worker counts. The
+// scheduler buffers out-of-order completions and applies the reduction
+// for shot i only after shots 0..i-1 have been reduced, making the result
+// bit-identical to a sequential loop over the same shots regardless of
+// DEVIGO_SHOT_WORKERS.
+package shotsched
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"devigo/internal/obs"
+)
+
+// WorkersEnvVar sets the concurrent shot-group pool size when
+// Config.Workers is unset: DEVIGO_SHOT_WORKERS=4 runs four shots at a
+// time. Unset defaults to 1 (sequential).
+const WorkersEnvVar = "DEVIGO_SHOT_WORKERS"
+
+// Config tunes a scheduler run.
+type Config struct {
+	// Workers is the number of shots in flight at once. 0 consults the
+	// DEVIGO_SHOT_WORKERS environment variable, then defaults to 1.
+	Workers int
+}
+
+// Stat is one completed shot's scheduling record, reported in ascending
+// shot order.
+type Stat struct {
+	// Shot is the shot index.
+	Shot int
+	// Seconds is the shot's wall time inside its worker (queue wait
+	// excluded).
+	Seconds float64
+}
+
+// ResolveWorkers picks the worker-pool size: an explicit requested > 0
+// wins, then the DEVIGO_SHOT_WORKERS environment variable, then 1. A
+// value that is not a positive integer is a configuration error naming
+// the bad value, where it came from, and what is accepted.
+func ResolveWorkers(requested int) (int, error) {
+	if requested > 0 {
+		return requested, nil
+	}
+	if requested < 0 {
+		return 0, fmt.Errorf("shotsched: invalid worker count %d in Config.Workers (want a positive integer)", requested)
+	}
+	s := strings.TrimSpace(os.Getenv(WorkersEnvVar))
+	if s == "" {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("shotsched: invalid worker count %q in $%s (want a positive integer)", s, WorkersEnvVar)
+	}
+	return n, nil
+}
+
+// errSkipped marks shots abandoned after another shot failed; it never
+// escapes Run.
+var errSkipped = fmt.Errorf("shotsched: skipped after earlier failure")
+
+// Run dispatches shots 0..n-1 through fn across the bounded worker pool
+// and streams each result into reduce in strictly ascending shot order
+// (buffering out-of-order completions), so the reduction is bit-identical
+// to a sequential loop for any worker count. reduce is never called
+// concurrently. On failure the scheduler stops launching new shots, lets
+// in-flight shots finish, and returns the failing error of the smallest
+// shot index (deterministic under races); reduce is not called for any
+// shot at or beyond the first failure. A nil reduce just drains.
+//
+// Each shot records a PhaseShot span and a CtrShotsDone count in the obs
+// subsystem (rank 0 — the scheduler lives above the rank tier), and the
+// pool size is published through the CtrShotWorkers gauge.
+func Run[T any](n int, cfg Config, fn func(shot int) (T, error), reduce func(shot int, v T) error) ([]Stat, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("shotsched: negative shot count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("shotsched: nil shot function")
+	}
+	workers, err := ResolveWorkers(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if workers > n {
+		workers = n
+	}
+	obs.Add(0, obs.CtrShotWorkers, int64(workers))
+
+	type item struct {
+		shot int
+		val  T
+		err  error
+		sec  float64
+	}
+	jobs := make(chan int)
+	results := make(chan item)
+	var cancel atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shot := range jobs {
+				if cancel.Load() {
+					results <- item{shot: shot, err: errSkipped}
+					continue
+				}
+				sp := obs.Begin(0, obs.PhaseShot, shot)
+				t0 := time.Now()
+				v, err := fn(shot)
+				it := item{shot: shot, val: v, err: err, sec: time.Since(t0).Seconds()}
+				sp.End()
+				if err == nil {
+					obs.Add(0, obs.CtrShotsDone, 1)
+				}
+				results <- it
+			}
+		}()
+	}
+	go func() {
+		for s := 0; s < n; s++ {
+			jobs <- s
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]item, workers)
+	stats := make([]Stat, 0, n)
+	next := 0
+	var firstErr error
+	firstErrShot := n
+	fail := func(shot int, err error) {
+		cancel.Store(true)
+		if shot < firstErrShot {
+			firstErrShot, firstErr = shot, err
+		}
+	}
+	for it := range results {
+		if it.err != nil {
+			if it.err != errSkipped {
+				fail(it.shot, it.err)
+			}
+			continue
+		}
+		pending[it.shot] = it
+		for {
+			nit, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			// Shots at or beyond a failure are complete but unreduced:
+			// a partial stack would be silently wrong.
+			if firstErr == nil || nit.shot < firstErrShot {
+				if reduce != nil {
+					if err := reduce(nit.shot, nit.val); err != nil {
+						fail(nit.shot, err)
+					}
+				}
+				if firstErr == nil || nit.shot < firstErrShot {
+					stats = append(stats, Stat{Shot: nit.shot, Seconds: nit.sec})
+				}
+			}
+			next++
+		}
+	}
+	if firstErr != nil {
+		return stats, fmt.Errorf("shotsched: shot %d: %w", firstErrShot, firstErr)
+	}
+	return stats, nil
+}

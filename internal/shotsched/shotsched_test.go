@@ -1,0 +1,153 @@
+package shotsched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReduceOrderDeterministic is the package's core guarantee: shots
+// completing out of order are still reduced in ascending shot order, so a
+// non-associative fold is identical for any worker count.
+func TestReduceOrderDeterministic(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var order []int
+		stats, err := Run(n, Config{Workers: workers},
+			func(shot int) (int, error) {
+				time.Sleep(delays[shot])
+				return shot * shot, nil
+			},
+			func(shot int, v int) error {
+				if v != shot*shot {
+					t.Errorf("shot %d carried %d", shot, v)
+				}
+				order = append(order, shot)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != n || len(stats) != n {
+			t.Fatalf("workers=%d: reduced %d shots, %d stats, want %d", workers, len(order), len(stats), n)
+		}
+		for i, s := range order {
+			if s != i {
+				t.Fatalf("workers=%d: reduction order %v not ascending", workers, order)
+			}
+			if stats[i].Shot != i {
+				t.Fatalf("workers=%d: stats order %v not ascending", workers, stats)
+			}
+		}
+	}
+}
+
+func TestWorkerBoundRespected(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	const workers = 3
+	_, err := Run(24, Config{Workers: workers},
+		func(shot int) (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d shots in flight, pool bound is %d", p, workers)
+	}
+}
+
+func TestErrorStopsAndIsDeterministic(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	reduced := map[int]bool{}
+	_, err := Run(16, Config{Workers: 4},
+		func(shot int) (int, error) {
+			if shot == 5 || shot == 9 {
+				return 0, boom
+			}
+			return shot, nil
+		},
+		func(shot int, v int) error {
+			reduced[shot] = true
+			return nil
+		})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "shot 5") {
+		t.Fatalf("error %q does not name the smallest failing shot", err)
+	}
+	for s := range reduced {
+		if s >= 5 {
+			t.Fatalf("shot %d was reduced past the failure point", s)
+		}
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	_, err := Run(4, Config{Workers: 2},
+		func(shot int) (int, error) { return shot, nil },
+		func(shot int, v int) error {
+			if shot == 2 {
+				return fmt.Errorf("stack overflow")
+			}
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "shot 2") {
+		t.Fatalf("reduce error not propagated: %v", err)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if n, err := ResolveWorkers(6); n != 6 || err != nil {
+		t.Fatalf("explicit workers: %d, %v", n, err)
+	}
+	t.Setenv(WorkersEnvVar, "")
+	if n, err := ResolveWorkers(0); n != 1 || err != nil {
+		t.Fatalf("default workers: %d, %v", n, err)
+	}
+	t.Setenv(WorkersEnvVar, "4")
+	if n, err := ResolveWorkers(0); n != 4 || err != nil {
+		t.Fatalf("env workers: %d, %v", n, err)
+	}
+	for _, bad := range []string{"zero", "-2", "0"} {
+		t.Setenv(WorkersEnvVar, bad)
+		if _, err := ResolveWorkers(0); err == nil || !strings.Contains(err.Error(), WorkersEnvVar) {
+			t.Errorf("ResolveWorkers with $%s=%q: want an error naming the variable, got %v",
+				WorkersEnvVar, bad, err)
+		}
+	}
+	if _, err := ResolveWorkers(-1); err == nil {
+		t.Error("negative Config.Workers accepted")
+	}
+}
+
+func TestZeroAndNilCases(t *testing.T) {
+	stats, err := Run[int](0, Config{}, func(int) (int, error) { return 0, nil }, nil)
+	if err != nil || stats != nil {
+		t.Fatalf("n=0: %v, %v", stats, err)
+	}
+	if _, err := Run[int](4, Config{}, nil, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	if _, err := Run[int](-1, Config{}, func(int) (int, error) { return 0, nil }, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
