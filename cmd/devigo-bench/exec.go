@@ -35,6 +35,8 @@ type ExecReport struct {
 	Engines    map[string]EngineMetrics `json:"engines"`
 	// SpeedupBytecode is bytecode GPts/s over interpreter GPts/s.
 	SpeedupBytecode float64 `json:"speedup_bytecode_over_interpreter"`
+	// SpeedupNative is native GPts/s over bytecode GPts/s.
+	SpeedupNative float64 `json:"speedup_native_over_bytecode"`
 	// Obs is the metrics-registry snapshot covering both engines' runs
 	// (steady/warmup step split, traffic counters, instruction gauge).
 	Obs obs.Metrics `json:"obs"`
@@ -60,7 +62,8 @@ func runExec(models []string, sos []int, size, nt int, outDir string) error {
 
 func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) error {
 	fmt.Printf("Measured execution, %dx%d grid, so-%02d, %d timesteps (this machine)\n", size, size, so, nt)
-	fmt.Printf("%-14s %14s %14s %10s\n", "scenario", "interp GPts/s", "bytec GPts/s", "speedup")
+	fmt.Printf("%-14s %14s %14s %14s %10s %10s\n",
+		"scenario", "interp GPts/s", "bytec GPts/s", "native GPts/s", "bc/interp", "nat/bc")
 	for _, model := range models {
 		obs.EnableMetrics()
 		obs.Reset()
@@ -71,7 +74,7 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 			NT:         nt,
 			Engines:    map[string]EngineMetrics{},
 		}
-		for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode} {
+		for _, engine := range []string{core.EngineInterpreter, core.EngineBytecode, core.EngineNative} {
 			perf, eff, err := measure(model, engine, size, so, nt)
 			if err != nil {
 				return fmt.Errorf("%s (%s): %w", model, engine, err)
@@ -93,10 +96,15 @@ func runExecSO(models []string, so, size, nt int, outDir string, suffixSO bool) 
 		report.Obs = obs.Snapshot()
 		gi := report.Engines[core.EngineInterpreter].GPtss
 		gb := report.Engines[core.EngineBytecode].GPtss
+		gn := report.Engines[core.EngineNative].GPtss
 		if gi > 0 {
 			report.SpeedupBytecode = gb / gi
 		}
-		fmt.Printf("%-14s %14.4f %14.4f %9.2fx\n", model, gi, gb, report.SpeedupBytecode)
+		if gb > 0 {
+			report.SpeedupNative = gn / gb
+		}
+		fmt.Printf("%-14s %14.4f %14.4f %14.4f %9.2fx %9.2fx\n",
+			model, gi, gb, gn, report.SpeedupBytecode, report.SpeedupNative)
 		name := fmt.Sprintf("BENCH_%s.json", model)
 		if suffixSO {
 			name = fmt.Sprintf("BENCH_%s_so%d.json", model, so)

@@ -106,6 +106,7 @@ func (op *Operator) Profile() perfmodel.OpProfile {
 	p := perfmodel.OpProfile{
 		LocalShape:      shape,
 		InstrsPerPoint:  instrs,
+		Engine:          op.perf.Engine,
 		StreamsPerPoint: op.StreamCount(),
 		HaloStreams:     op.HaloStreamCount(),
 		HaloWidth:       width,
@@ -292,7 +293,8 @@ func (op *Operator) autotune(policy string, step func(int), next *int, remaining
 // chosen by the autotuner or forced through Options — exported so
 // benchmarks can record their own provenance.
 type EffectiveConfig struct {
-	// Engine is the execution engine ("bytecode" or "interpreter").
+	// Engine is the execution engine ("bytecode", "interpreter" or
+	// "native").
 	Engine string `json:"engine"`
 	// Mode is the halo-exchange pattern ("none" when serial).
 	Mode string `json:"mode"`

@@ -10,6 +10,7 @@ import (
 	"devigo/internal/field"
 	"devigo/internal/grid"
 	"devigo/internal/ir"
+	"devigo/internal/native"
 	"devigo/internal/obs"
 	"devigo/internal/opcache"
 	"devigo/internal/perfmodel"
@@ -123,7 +124,7 @@ func storeSchedule(cache *opcache.Cache, key string, sched *ir.Schedule, hasScra
 // operators racing on a cold key block on one in-flight compilation
 // instead of duplicating it. The obs compile/hit/miss counters record
 // which path ran.
-func (op *Operator) compileKernels(engine string, compileAll func() ([]execKernel, error)) ([]execKernel, error) {
+func (op *Operator) compileKernels(engine string, compileAll func() ([]ExecKernel, error)) ([]ExecKernel, error) {
 	rank := op.obsRank()
 	if op.cache == nil {
 		obs.Add(rank, obs.CtrOpCompiles, 1)
@@ -136,7 +137,7 @@ func (op *Operator) compileKernels(engine string, compileAll func() ([]execKerne
 	if err != nil {
 		return nil, err
 	}
-	cached, ok := v.([]execKernel)
+	cached, ok := v.([]ExecKernel)
 	if !ok {
 		return nil, fmt.Errorf("core: %s: operator cache holds %T under kernels key (corrupt entry)", op.Name, v)
 	}
@@ -145,7 +146,7 @@ func (op *Operator) compileKernels(engine string, compileAll func() ([]execKerne
 		return cached, nil
 	}
 	obs.Add(rank, obs.CtrOpCacheHits, 1)
-	rebound := make([]execKernel, len(cached))
+	rebound := make([]ExecKernel, len(cached))
 	for i, k := range cached {
 		switch t := k.(type) {
 		case *bytecode.Kernel:
@@ -155,6 +156,12 @@ func (op *Operator) compileKernels(engine string, compileAll func() ([]execKerne
 			}
 			rebound[i] = rk
 		case *runtime.Kernel:
+			rk, err := t.Rebind(op.Fields)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", op.Name, err)
+			}
+			rebound[i] = rk
+		case *native.Kernel:
 			rk, err := t.Rebind(op.Fields)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s: %w", op.Name, err)

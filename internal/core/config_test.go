@@ -17,6 +17,8 @@ func TestResolveEngineVocabulary(t *testing.T) {
 		"vm":          EngineBytecode,
 		"interpreter": EngineInterpreter,
 		"interp":      EngineInterpreter,
+		"native":      EngineNative,
+		" Native ":    EngineNative,
 		" Bytecode ":  EngineBytecode,
 	} {
 		got, err := resolveEngine(in)
@@ -31,7 +33,7 @@ func TestResolveEngineRejectsUnknown(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	for _, frag := range []string{`"llvm"`, "Options.Engine", EngineBytecode, EngineInterpreter} {
+	for _, frag := range []string{`"llvm"`, "Options.Engine", EngineBytecode, EngineInterpreter, EngineNative} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Errorf("engine error %q lacks %q", err, frag)
 		}
@@ -44,7 +46,7 @@ func TestResolveEngineRejectsBadEnv(t *testing.T) {
 	if err == nil {
 		t.Fatal("bad $" + EngineEnvVar + " accepted")
 	}
-	for _, frag := range []string{`"turbo"`, "$" + EngineEnvVar, EngineBytecode, EngineInterpreter} {
+	for _, frag := range []string{`"turbo"`, "$" + EngineEnvVar, EngineBytecode, EngineInterpreter, EngineNative} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Errorf("engine env error %q lacks %q", err, frag)
 		}

@@ -7,29 +7,37 @@ import (
 
 	"devigo/internal/bytecode"
 	"devigo/internal/field"
+	"devigo/internal/native"
 	"devigo/internal/runtime"
 	"devigo/internal/symbolic"
 )
 
 // Execution engines. The bytecode register VM is the default; the
 // expression-tree interpreter remains as the reference implementation and
-// escape hatch. Both produce bit-identical results — the differential
-// tests enforce it — so the choice is purely a performance/debugging one.
+// escape hatch; the native engine re-lowers the bytecode program into
+// fused bulk-row chains for peak per-rank throughput. All three produce
+// bit-identical results — the differential and fuzz tests enforce it — so
+// the choice is purely a performance/debugging one.
 const (
 	// EngineBytecode compiles each cluster to flat register bytecode run
 	// by a row-sweep VM (package bytecode).
 	EngineBytecode = "bytecode"
 	// EngineInterpreter walks a per-point stack program (package runtime).
 	EngineInterpreter = "interpreter"
+	// EngineNative executes fused opcode runs with specialized
+	// bounds-check-hoisted inner loops (package native).
+	EngineNative = "native"
 )
 
 // EngineEnvVar overrides the default engine when Options.Engine is unset.
 const EngineEnvVar = "DEVIGO_ENGINE"
 
-// execKernel is the per-cluster execution contract both engines satisfy.
+// ExecKernel is the per-cluster execution contract every engine satisfies.
 // Run's scalar vector is whatever the same kernel's BindSyms produced
-// (the interpreter's symbol bindings, the bytecode engine's scalar pool).
-type execKernel interface {
+// (the interpreter's symbol bindings, the bytecode/native engines' scalar
+// pool). Exported so the cross-engine conformance tests can inspect an
+// operator's compiled kernels.
+type ExecKernel interface {
 	Run(t int, b runtime.Box, syms []float64, opts *runtime.ExecOpts)
 	BindSyms(vals map[string]float64) ([]float64, error)
 	FlopsPerPoint() int
@@ -39,7 +47,7 @@ type execKernel interface {
 
 // EngineNames lists the canonical engine names accepted by
 // Options.Engine and $DEVIGO_ENGINE ("vm" and "interp" are aliases).
-func EngineNames() []string { return []string{EngineBytecode, EngineInterpreter} }
+func EngineNames() []string { return []string{EngineBytecode, EngineInterpreter, EngineNative} }
 
 // resolveEngine picks the execution engine: explicit Options.Engine wins,
 // then the DEVIGO_ENGINE environment variable, then the bytecode default.
@@ -60,6 +68,8 @@ func resolveEngine(requested string) (string, error) {
 		return EngineBytecode, nil
 	case EngineInterpreter, "interp":
 		return EngineInterpreter, nil
+	case EngineNative:
+		return EngineNative, nil
 	}
 	return "", fmt.Errorf("core: unknown engine %q in %s (valid: %s; aliases: vm, interp)",
 		e, source, strings.Join(EngineNames(), ", "))
@@ -67,10 +77,12 @@ func resolveEngine(requested string) (string, error) {
 
 // compileStep compiles one optimized loop nest with the selected engine.
 func compileStep(engine string, assigns []symbolic.Assignment, eqs []symbolic.Eq,
-	radius []int, fields map[string]*field.Function) (execKernel, error) {
+	radius []int, fields map[string]*field.Function) (ExecKernel, error) {
 	switch engine {
 	case EngineInterpreter:
 		return runtime.CompileNest(assigns, eqs, radius, fields)
+	case EngineNative:
+		return native.CompileNest(assigns, eqs, radius, fields)
 	default:
 		return bytecode.CompileNest(assigns, eqs, radius, fields)
 	}

@@ -47,7 +47,7 @@ type Operator struct {
 	CCode    string
 
 	ctx        *Context
-	kernels    []execKernel
+	kernels    []ExecKernel
 	exchangers map[string]halo.Exchanger
 	// tileExchangers holds one exchanger per tile-start (field, timeOff)
 	// requirement. Distinct streams per requirement are essential under
@@ -350,8 +350,8 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 			op.invariants = append(op.invariants, symbolic.Assignment{Name: sa.Name, Value: sa.Value})
 		}
 	}
-	compileAll := func() ([]execKernel, error) {
-		ks := make([]execKernel, 0, len(sched.Steps))
+	compileAll := func() ([]ExecKernel, error) {
+		ks := make([]ExecKernel, 0, len(sched.Steps))
 		for i, st := range sched.Steps {
 			k, err := compileStep(engine, nests[i].Assigns, nests[i].Exprs, st.Cluster.Radius, fields)
 			if err != nil {
@@ -720,7 +720,7 @@ func (op *Operator) applyOverlap(si int, st ir.Step, t int, syms []float64, loca
 // deep overlap: post the exchanges, compute the CORE box with progress
 // prods between tiles, complete the exchanges, then sweep the remainder
 // of the outer box.
-func (op *Operator) overlapSweep(k execKernel, t int, outer, core runtime.Box, syms []float64, start, progress, finish func()) {
+func (op *Operator) overlapSweep(k ExecKernel, t int, outer, core runtime.Box, syms []float64, start, progress, finish func()) {
 	rank := op.obsRank()
 	sp := obs.Begin(rank, obs.PhaseExchange, t)
 	hs := time.Now()
@@ -779,6 +779,11 @@ func (op *Operator) ResetPerf() {
 
 // Engine reports which execution engine the operator compiled to.
 func (op *Operator) Engine() string { return op.perf.Engine }
+
+// Kernels returns the operator's compiled per-step kernels. The slice is
+// the operator's own — callers (the opcode/run-shape conformance tests)
+// must treat it as read-only.
+func (op *Operator) Kernels() []ExecKernel { return op.kernels }
 
 // collectNests returns the loop nests of the time-loop body in step order,
 // looking through overlap sections (whose Core and Remainder share one

@@ -1,0 +1,283 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"devigo/internal/bytecode"
+	"devigo/internal/field"
+	"devigo/internal/grid"
+	"devigo/internal/ir"
+	"devigo/internal/runtime"
+	"devigo/internal/symbolic"
+)
+
+// The conformance table: a set of small scenario kernels whose union
+// exercises every bytecode opcode and every native segment shape. Each
+// scenario compiles the same symbolic nest with both engines over
+// identically initialised fields, runs them (sequentially, tiled, and
+// with a worker pool; grid widths are chosen so both the vectorized
+// strips and the scalar remainder tail execute), asserts bit-identical
+// output, and contributes its compiled program and lowered segments to
+// the coverage ledger. The final assertions fail if any opcode or any
+// run shape is left unexercised — so adding an opcode or a segment shape
+// without extending this table is a test failure, not a silent gap.
+
+// confNest is one scenario's symbolic input plus its scratch state: two
+// disjoint field sets (one per engine) built over the same grid.
+type confNest struct {
+	assigns []symbolic.Assignment
+	eqs     []symbolic.Eq
+	radius  []int
+	cluster *ir.Cluster // set instead of eqs for derivative-bearing nests
+	fB, fN  map[string]*field.Function
+	outs    []string // fields whose buffers are compared
+	vals    map[string]float64
+}
+
+// confTimeFn allocates one identically-initialised time function per
+// engine.
+func confTimeFn(t *testing.T, name string, g *grid.Grid, so int) (*field.TimeFunction, *field.TimeFunction) {
+	t.Helper()
+	mk := func() *field.TimeFunction {
+		u, err := field.NewTimeFunction(name, g, so, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	a, b := mk(), mk()
+	for _, f := range []*field.TimeFunction{a, b} {
+		buf := f.Buf(0)
+		for i := range buf.Data {
+			buf.Data[i] = float32((i*13)%29)*0.125 - 1
+		}
+	}
+	return a, b
+}
+
+// confScenarios builds the table. Scenario nests are deliberately
+// contrived where needed: real propagators never emit opCopy or opMovS
+// (the probe scenarios cover the arithmetic vocabulary), so dedicated
+// nests pin those paths.
+func confScenarios(t *testing.T) map[string]confNest {
+	t.Helper()
+	out := map[string]confNest{}
+
+	// Diffusion stencil (derivatives expanded through ir.Lower, like the
+	// real pipeline): load/mulvs/addvv/madd chains ending in a store
+	// (ShapeChainStore).
+	{
+		g := grid.MustNew([]int{17, 13}, []float64{3, 5})
+		uB, uN := confTimeFn(t, "u", g, 4)
+		eq := symbolic.Eq{LHS: symbolic.Dt(symbolic.At(uB.Ref), 1), RHS: symbolic.Laplace(symbolic.At(uB.Ref), 2, 4)}
+		sol, err := symbolic.Solve(eq, symbolic.ForwardStencil(uB.Ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := ir.Lower([]symbolic.Eq{{LHS: symbolic.ForwardStencil(uB.Ref), RHS: sol}}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["diffusion"] = confNest{
+			cluster: clusters[0],
+			fB:      map[string]*field.Function{"u": &uB.Function},
+			fN:      map[string]*field.Function{"u": &uN.Function},
+			outs:    []string{"u"},
+			vals:    map[string]float64{"dt": 0.001, "h_x": 3, "h_y": 5},
+		}
+	}
+
+	// Temporaries + per-point powers: opCopy (an assignment aliasing a
+	// cached load), opPowV, mulvv/maddvv, and a surviving register row
+	// (ShapeChain ending in LkToRow).
+	{
+		g := grid.MustNew([]int{12, 21}, nil)
+		uB, uN := confTimeFn(t, "u", g, 2)
+		mkM := func() *field.Function {
+			m, err := field.NewFunction("m", g, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := m.Bufs[0]
+			for i := range buf.Data {
+				buf.Data[i] = 1.5 + float32(i%7)*0.25
+			}
+			return m
+		}
+		mB, mN := mkM(), mkM()
+		ref, mref := uB.Ref, mB.Ref
+		assigns := []symbolic.Assignment{
+			// r0 aliases the cached centre load: compiles to opCopy.
+			{Name: "r0", Value: symbolic.At(mref)},
+			{Name: "r1", Value: symbolic.NewMul(
+				symbolic.NewAdd(symbolic.Shifted(ref, 0, -1, 0), symbolic.Shifted(ref, 0, 1, 0)),
+				symbolic.Pow{Base: symbolic.S("r0"), Exp: -2},
+			)},
+		}
+		rhs := symbolic.NewAdd(
+			symbolic.NewMul(symbolic.S("r1"), symbolic.S("r1")),
+			symbolic.NewMul(symbolic.S("r0"), symbolic.Shifted(ref, 0, 0, -1), symbolic.S("dt")),
+			symbolic.Pow{Base: symbolic.At(ref), Exp: 3},
+			// Two distinct stencil reads multiplied: fuses as opMaddVV.
+			symbolic.NewMul(symbolic.Shifted(ref, 0, 1, 0), symbolic.Shifted(ref, 0, 0, 1)),
+		)
+		out["temps-pow"] = confNest{
+			assigns: assigns,
+			eqs:     []symbolic.Eq{{LHS: symbolic.ForwardStencil(ref), RHS: rhs}},
+			radius:  []int{1, 1},
+			fB:      map[string]*field.Function{"u": &uB.Function, "m": mB},
+			fN:      map[string]*field.Function{"u": &uN.Function, "m": mN},
+			outs:    []string{"u"},
+			vals:    map[string]float64{"dt": 0.37},
+		}
+	}
+
+	// Pure scalar RHS: opMovS broadcast.
+	{
+		g := grid.MustNew([]int{6, 9}, nil)
+		uB, uN := confTimeFn(t, "u", g, 2)
+		rhs := symbolic.NewMul(symbolic.S("dt"), symbolic.S("dt"))
+		out["scalar-broadcast"] = confNest{
+			eqs:    []symbolic.Eq{{LHS: symbolic.ForwardStencil(uB.Ref), RHS: rhs}},
+			radius: []int{0, 0},
+			fB:     map[string]*field.Function{"u": &uB.Function},
+			fN:     map[string]*field.Function{"u": &uN.Function},
+			outs:   []string{"u"},
+			vals:   map[string]float64{"dt": 0.25},
+		}
+	}
+
+	// Field + scalar: opAddVS.
+	{
+		g := grid.MustNew([]int{5, 23}, nil)
+		uB, uN := confTimeFn(t, "u", g, 2)
+		rhs := symbolic.NewAdd(symbolic.At(uB.Ref), symbolic.S("dt"))
+		out["add-scalar"] = confNest{
+			eqs:    []symbolic.Eq{{LHS: symbolic.ForwardStencil(uB.Ref), RHS: rhs}},
+			radius: []int{0, 0},
+			fB:     map[string]*field.Function{"u": &uB.Function},
+			fN:     map[string]*field.Function{"u": &uN.Function},
+			outs:   []string{"u"},
+			vals:   map[string]float64{"dt": 0.125},
+		}
+	}
+
+	// Cross-equation aliasing at a nonzero offset: the second equation
+	// reads the first equation's freshly stored row one point to the left,
+	// which the segment extractor must refuse to fuse — the whole program
+	// drops to a verbatim VM segment (ShapeVM), the native engine's
+	// correctness escape hatch.
+	{
+		g := grid.MustNew([]int{6, 18}, nil)
+		uB, uN := confTimeFn(t, "u", g, 2)
+		vB, vN := confTimeFn(t, "v", g, 2)
+		// Field references resolve by name at compile time, so one equation
+		// set serves both engines' field maps.
+		eqs := []symbolic.Eq{
+			{LHS: symbolic.ForwardStencil(uB.Ref), RHS: symbolic.NewAdd(symbolic.At(uB.Ref), symbolic.S("dt"))},
+			{LHS: symbolic.ForwardStencil(vB.Ref), RHS: symbolic.NewMul(symbolic.Shifted(uB.Ref, 1, 0, -1), symbolic.Int(2))},
+		}
+		out["store-alias-vm"] = confNest{
+			eqs:    eqs,
+			radius: []int{0, 1},
+			fB:     map[string]*field.Function{"u": &uB.Function, "v": &vB.Function},
+			fN:     map[string]*field.Function{"u": &uN.Function, "v": &vN.Function},
+			outs:   []string{"u", "v"},
+			vals:   map[string]float64{"dt": 0.5},
+		}
+	}
+	return out
+}
+
+func confBox(f *field.Function) runtime.Box {
+	nd := f.NDims()
+	b := runtime.Box{Lo: make([]int, nd), Hi: make([]int, nd)}
+	copy(b.Hi, f.LocalShape)
+	return b
+}
+
+// TestConformanceOpcodeAndShapeCoverage is the table driver: bit-exact
+// native-vs-bytecode execution per scenario, then the coverage
+// assertions over the union.
+func TestConformanceOpcodeAndShapeCoverage(t *testing.T) {
+	opSeen := make([]bool, bytecode.NumOpcodes)
+	shapeSeen := map[bytecode.Shape]bool{}
+
+	for name, n := range confScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			var kB *bytecode.Kernel
+			var nk *Kernel
+			var err error
+			if n.cluster != nil {
+				kB, err = bytecode.CompileCluster(n.cluster, n.fB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var bkN *bytecode.Kernel
+				bkN, err = bytecode.CompileCluster(n.cluster, n.fN)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nk = Wrap(bkN)
+			} else {
+				kB, err = bytecode.CompileNest(n.assigns, n.eqs, n.radius, n.fB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nk, err = CompileNest(n.assigns, n.eqs, n.radius, n.fN)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, in := range nk.Bytecode().Program() {
+				opSeen[in.Op] = true
+			}
+			for _, seg := range nk.Segments() {
+				shapeSeen[seg.Shape] = true
+				for _, in := range seg.VM {
+					opSeen[in.Op] = true
+				}
+			}
+			poolB, err := kB.BindSyms(n.vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poolN, err := nk.BindSyms(n.vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []*runtime.ExecOpts{nil, {TileRows: 3}, {Workers: 3, TileRows: 2}} {
+				kB.Run(0, confBox(n.fB[n.outs[0]]), poolB, opts)
+				nk.Run(0, confBox(n.fN[n.outs[0]]), poolN, opts)
+				for _, fn := range n.outs {
+					fb, fn2 := n.fB[fn], n.fN[fn]
+					for bi := range fb.Bufs {
+						da, db := fb.Bufs[bi].Data, fn2.Bufs[bi].Data
+						for i := range da {
+							if da[i] != db[i] && !(math.IsNaN(float64(da[i])) && math.IsNaN(float64(db[i]))) {
+								t.Fatalf("%s: field %s buf %d lane %d: bytecode %v, native %v",
+									name, fn, bi, i, da[i], db[i])
+							}
+						}
+					}
+				}
+			}
+			if kB.FlopsPerPoint() != nk.FlopsPerPoint() {
+				t.Errorf("flop accounting differs: bytecode %d, native %d",
+					kB.FlopsPerPoint(), nk.FlopsPerPoint())
+			}
+		})
+	}
+
+	for op := 0; op < bytecode.NumOpcodes; op++ {
+		if !opSeen[op] {
+			t.Errorf("opcode %q not exercised by any conformance scenario", bytecode.OpName(byte(op)))
+		}
+	}
+	for si, sn := range bytecode.ShapeNames() {
+		if !shapeSeen[bytecode.Shape(si)] {
+			t.Errorf("segment shape %q not exercised by any conformance scenario", sn)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"devigo/internal/bytecode"
+	"devigo/internal/runtime"
+)
+
+// xlink is one fused per-point operation, executable form: operand
+// pointers are patched per worker (register rows) and per row (field
+// accesses), the scalar operand is resolved from the bound pool once per
+// worker. kind/exp are copied from the kernel template.
+type xlink struct {
+	kind       bytecode.LinkKind
+	exp        int
+	sv         float64
+	pa, pb, pc unsafe.Pointer
+}
+
+// Operand patch descriptors, precomputed at Wrap time.
+type patchF struct {
+	li   int32 // link index in the flat array
+	pos  int8  // which pointer: 0=pa 1=pb 2=pc
+	slot int32
+}
+type patchR struct {
+	li  int32
+	pos int8
+	reg int32
+}
+type patchS struct {
+	li   int32
+	pool int32
+}
+type patchE struct {
+	li int32
+	eq int32
+}
+
+// tmpl is the kernel's immutable executable template.
+type tmpl struct {
+	links []xlink // kinds and exponents filled; pointers nil
+	fs    []patchF
+	rs    []patchR
+	ss    []patchS
+	es    []patchE
+}
+
+// buildTemplate flattens the chain segments' links and derives the patch
+// lists from each link kind's operand roles.
+func (k *Kernel) buildTemplate(segs []bytecode.Segment) {
+	t := &tmpl{}
+	li := func() int32 { return int32(len(t.links)) }
+	// Operand-role helpers: field access, register row, pool scalar.
+	f := func(pos int8, slot int32) { t.fs = append(t.fs, patchF{li(), pos, slot}) }
+	r := func(pos int8, reg int32) { t.rs = append(t.rs, patchR{li(), pos, reg}) }
+	s := func(pool int32) { t.ss = append(t.ss, patchS{li(), pool}) }
+	for _, seg := range segs {
+		if seg.Shape == bytecode.ShapeVM {
+			continue
+		}
+		for _, l := range seg.Links {
+			x := xlink{kind: l.Kind}
+			switch l.Kind {
+			case bytecode.LkToRow:
+				r(0, l.A)
+			case bytecode.LkStore:
+				t.es = append(t.es, patchE{li(), l.A})
+			case bytecode.LkMovS, bytecode.LkAccAddS, bytecode.LkAccMulS,
+				bytecode.LkTMulS, bytecode.LkMergeMaddTS:
+				s(l.A)
+			case bytecode.LkMulFS, bytecode.LkAddFS, bytecode.LkTMulFS,
+				bytecode.LkAccMaddFS, bytecode.LkTMaddFS:
+				f(0, l.A)
+				s(l.B)
+			case bytecode.LkMulRS, bytecode.LkAddRS, bytecode.LkTMulRS,
+				bytecode.LkAccMaddRS, bytecode.LkTMaddRS:
+				r(0, l.A)
+				s(l.B)
+			case bytecode.LkMulFF, bytecode.LkAddFF, bytecode.LkTMulFF,
+				bytecode.LkAccMaddFF:
+				f(0, l.A)
+				f(1, l.B)
+			case bytecode.LkMulFR, bytecode.LkAddFR, bytecode.LkTMulFR,
+				bytecode.LkAccMaddFR:
+				f(0, l.A)
+				r(1, l.B)
+			case bytecode.LkMulRR, bytecode.LkAddRR, bytecode.LkTMulRR,
+				bytecode.LkAccMaddRR:
+				r(0, l.A)
+				r(1, l.B)
+			case bytecode.LkPowF:
+				f(0, l.A)
+				x.exp = int(l.B)
+			case bytecode.LkPowR:
+				r(0, l.A)
+				x.exp = int(l.B)
+			case bytecode.LkAccPow:
+				x.exp = int(l.A)
+			case bytecode.LkMaddFSF:
+				f(0, l.A)
+				s(l.B)
+				f(2, l.C)
+			case bytecode.LkMaddFSR:
+				f(0, l.A)
+				s(l.B)
+				r(2, l.C)
+			case bytecode.LkMaddRSF:
+				r(0, l.A)
+				s(l.B)
+				f(2, l.C)
+			case bytecode.LkMaddRSR:
+				r(0, l.A)
+				s(l.B)
+				r(2, l.C)
+			case bytecode.LkMaddFFF:
+				f(0, l.A)
+				f(1, l.B)
+				f(2, l.C)
+			case bytecode.LkMaddFFR:
+				f(0, l.A)
+				f(1, l.B)
+				r(2, l.C)
+			case bytecode.LkMaddFRF:
+				f(0, l.A)
+				r(1, l.B)
+				f(2, l.C)
+			case bytecode.LkMaddFRR:
+				f(0, l.A)
+				r(1, l.B)
+				r(2, l.C)
+			case bytecode.LkMaddRRF:
+				r(0, l.A)
+				r(1, l.B)
+				f(2, l.C)
+			case bytecode.LkMaddRRR:
+				r(0, l.A)
+				r(1, l.B)
+				r(2, l.C)
+			case bytecode.LkAccAddF, bytecode.LkAccMulF, bytecode.LkTMulF,
+				bytecode.LkMergeMaddTF:
+				f(0, l.A)
+			case bytecode.LkAccAddR, bytecode.LkAccMulR, bytecode.LkTMulR,
+				bytecode.LkMergeMaddTR:
+				r(0, l.A)
+			case bytecode.LkMergeMulT, bytecode.LkMergeAddT:
+				// no operands beyond the two accumulators
+			default:
+				panic(fmt.Sprintf("native: unhandled link kind %v", l.Kind))
+			}
+			t.links = append(t.links, x)
+		}
+	}
+	k.tm = t
+}
+
+// exec is the per-worker executable state: a private copy of the link
+// array with register-row pointers and pool scalars resolved, plus the
+// worker's accumulator and scratch strips.
+type exec struct {
+	links   []xlink
+	acc, tt []float64
+}
+
+// newExec instantiates the template for one worker: scalars come from the
+// bound pool, register-row pointers from the worker's register file.
+func (k *Kernel) newExec(pool, regs []float64, stride int) *exec {
+	e := &exec{
+		links: append([]xlink(nil), k.tm.links...),
+		acc:   make([]float64, stripN),
+		tt:    make([]float64, stripN),
+	}
+	for _, p := range k.tm.ss {
+		e.links[p.li].sv = pool[p.pool]
+	}
+	for _, p := range k.tm.rs {
+		ptr := unsafe.Pointer(&regs[int(p.reg)*stride])
+		setPtr(&e.links[p.li], p.pos, ptr)
+	}
+	return e
+}
+
+func setPtr(l *xlink, pos int8, p unsafe.Pointer) {
+	switch pos {
+	case 0:
+		l.pa = p
+	case 1:
+		l.pb = p
+	default:
+		l.pc = p
+	}
+}
+
+// patchRow points every field operand at the current row. The single
+// bounds check per operand here replaces the VM's per-instruction slice
+// checks; a violation panics exactly where the VM's slicing would.
+func (k *Kernel) patchRow(e *exec, n int, bases []int,
+	slotData [][]float32, slotOff []int, outData [][]float32) {
+	for _, p := range k.tm.fs {
+		s := &k.slots[p.slot]
+		off := bases[s.Field] + slotOff[p.slot]
+		data := slotData[p.slot]
+		if off < 0 || off+n > len(data) {
+			panic(fmt.Sprintf("native: row [%d:%d) out of bounds of slot %d (len %d)",
+				off, off+n, p.slot, len(data)))
+		}
+		setPtr(&e.links[p.li], p.pos, unsafe.Pointer(&data[off]))
+	}
+	for _, p := range k.tm.es {
+		off := bases[k.eqs[p.eq].Field]
+		data := outData[p.eq]
+		if off < 0 || off+n > len(data) {
+			panic(fmt.Sprintf("native: store row [%d:%d) out of bounds of eq %d (len %d)",
+				off, off+n, p.eq, len(data)))
+		}
+		e.links[p.li].pa = unsafe.Pointer(&data[off])
+	}
+}
+
+// Run executes the fused program at every point of the box for logical
+// timestep t. It preserves the engine execution contract exactly —
+// row-major point order, equations in program order at each point, tiling
+// over the outer dimension, worker-pool parallelism and the Progress prod
+// between tiles — so all halo-exchange modes run unchanged (this loop
+// structure mirrors the bytecode VM's Run).
+func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpts) {
+	if b.Empty() {
+		return
+	}
+	workers, tileRows := 1, 0
+	var progress func()
+	if opts != nil {
+		if opts.Workers > 1 {
+			workers = opts.Workers
+		}
+		tileRows = opts.TileRows
+		progress = opts.Progress
+	}
+	fields := k.bk.Fields
+	slotData := make([][]float32, len(k.slots))
+	slotOff := make([]int, len(k.slots))
+	for i, s := range k.slots {
+		f := fields[s.Field]
+		slotData[i] = f.Buf(t + s.TimeOff).Data
+		flat := 0
+		for d := 0; d < len(b.Lo); d++ {
+			flat += s.Off[d] * f.Bufs[0].Strides[d]
+		}
+		slotOff[i] = flat
+	}
+	outData := make([][]float32, len(k.eqs))
+	for i, e := range k.eqs {
+		outData[i] = fields[e.Field].Buf(t + e.TimeOff).Data
+	}
+
+	nd := len(b.Lo)
+	outer := b.Hi[0] - b.Lo[0]
+	if tileRows <= 0 || tileRows > outer {
+		tileRows = outer
+	}
+	type tile struct{ lo, hi int }
+	var tiles []tile
+	for lo := b.Lo[0]; lo < b.Hi[0]; lo += tileRows {
+		hi := lo + tileRows
+		if hi > b.Hi[0] {
+			hi = b.Hi[0]
+		}
+		tiles = append(tiles, tile{lo, hi})
+	}
+
+	maxRow := b.Hi[nd-1] - b.Lo[nd-1]
+	if nd == 1 {
+		maxRow = tileRows
+	}
+	numRegs := k.bk.NumRegisters()
+
+	runTile := func(tl tile, regs []float64, ex *exec) {
+		idx := make([]int, nd)
+		copy(idx, b.Lo)
+		idx[0] = tl.lo
+		bases := make([]int, len(fields))
+		rowLen := b.Hi[nd-1] - b.Lo[nd-1]
+		if nd == 1 {
+			rowLen = tl.hi - tl.lo
+		}
+		for {
+			for fi, f := range fields {
+				base := 0
+				for d := 0; d < nd; d++ {
+					base += (idx[d] + f.Halo[d]) * f.Bufs[0].Strides[d]
+				}
+				bases[fi] = base
+			}
+			k.execRow(ex, regs, maxRow, rowLen, bases, slotData, slotOff, outData, pool)
+			d := nd - 2
+			for ; d >= 0; d-- {
+				idx[d]++
+				limit := b.Hi[d]
+				if d == 0 {
+					limit = tl.hi
+				}
+				if idx[d] < limit {
+					break
+				}
+				if d == 0 {
+					break
+				}
+				idx[d] = b.Lo[d]
+			}
+			if d < 0 {
+				break
+			}
+			if d == 0 && idx[0] >= tl.hi {
+				break
+			}
+		}
+	}
+
+	if workers <= 1 {
+		regs := make([]float64, numRegs*maxRow)
+		ex := k.newExec(pool, regs, maxRow)
+		for _, tl := range tiles {
+			runTile(tl, regs, ex)
+			if progress != nil {
+				progress()
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan tile, len(tiles))
+	for _, tl := range tiles {
+		work <- tl
+	}
+	close(work)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(isFirst bool) {
+			defer wg.Done()
+			regs := make([]float64, numRegs*maxRow)
+			ex := k.newExec(pool, regs, maxRow)
+			for tl := range work {
+				runTile(tl, regs, ex)
+				if isFirst && progress != nil {
+					progress()
+				}
+			}
+		}(wkr == 0)
+	}
+	wg.Wait()
+}
+
+// execRow runs every segment once over one row of n points.
+func (k *Kernel) execRow(ex *exec, regs []float64, stride, n int, bases []int,
+	slotData [][]float32, slotOff []int, outData [][]float32, pool []float64) {
+	k.patchRow(ex, n, bases, slotData, slotOff, outData)
+	for _, seg := range k.segs {
+		if seg.shape == bytecode.ShapeVM {
+			k.sweepVM(seg.vm, regs, stride, n, bases, slotData, slotOff, outData, pool)
+			continue
+		}
+		ex.runChain(ex.links[seg.lkLo:seg.lkHi], n)
+	}
+}
+
+// sweepVM executes fallback instructions with per-instruction row sweeps,
+// arm for arm identical to the bytecode VM (including the explicit
+// float64 conversions that pin the madd rounding).
+func (k *Kernel) sweepVM(prog []bytecode.Instr, regs []float64, stride, n int,
+	bases []int, slotData [][]float32, slotOff []int, outData [][]float32, pool []float64) {
+	reg := func(r int32) []float64 {
+		off := int(r) * stride
+		return regs[off : off+n]
+	}
+	for pi := range prog {
+		in := &prog[pi]
+		switch in.Op {
+		case bytecode.OpLoad:
+			s := &k.slots[in.B]
+			off := bases[s.Field] + slotOff[in.B]
+			src := slotData[in.B][off : off+n]
+			rd := reg(in.Rd)
+			for i, v := range src {
+				rd[i] = float64(v)
+			}
+		case bytecode.OpStore:
+			e := &k.eqs[in.B]
+			off := bases[e.Field]
+			dst := outData[in.B][off : off+n]
+			ra := reg(in.A)
+			for i, v := range ra {
+				dst[i] = float32(v)
+			}
+		case bytecode.OpCopy:
+			copy(reg(in.Rd), reg(in.A))
+		case bytecode.OpMovS:
+			rd, v := reg(in.Rd), pool[in.B]
+			for i := range rd {
+				rd[i] = v
+			}
+		case bytecode.OpAddVV:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			rb := reg(in.B)[:len(rd)]
+			for i := range rd {
+				rd[i] = ra[i] + rb[i]
+			}
+		case bytecode.OpAddVS:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			s := pool[in.B]
+			for i := range rd {
+				rd[i] = ra[i] + s
+			}
+		case bytecode.OpMulVV:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			rb := reg(in.B)[:len(rd)]
+			for i := range rd {
+				rd[i] = ra[i] * rb[i]
+			}
+		case bytecode.OpMulVS:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			s := pool[in.B]
+			for i := range rd {
+				rd[i] = ra[i] * s
+			}
+		case bytecode.OpMaddVV:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			rb := reg(in.B)[:len(rd)]
+			rc := reg(in.C)[:len(rd)]
+			for i := range rd {
+				rd[i] = float64(ra[i]*rb[i]) + rc[i]
+			}
+		case bytecode.OpMaddVS:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			rc := reg(in.C)[:len(rd)]
+			s := pool[in.B]
+			for i := range rd {
+				rd[i] = float64(ra[i]*s) + rc[i]
+			}
+		case bytecode.OpPowV:
+			rd := reg(in.Rd)
+			ra := reg(in.A)[:len(rd)]
+			e := int(in.B)
+			for i := range rd {
+				rd[i] = bytecode.Ipow(ra[i], e)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package native is devigo's third execution engine: specialized Go
+// bulk-row kernels that execute whole opcode *runs* per row instead of
+// dispatching the register VM once per instruction.
+//
+// The engine reuses the bytecode compiler wholesale — symbolic lowering,
+// load caching, madd fusion, scalar-pool hoisting — and then re-lowers the
+// compiled row program through bytecode.ExtractSegments into fused
+// accumulation chains (see the LinkKind vocabulary in package bytecode).
+// Each chain executes over fixed-width strips of the row (256 points):
+// every link dispatches one SIMD primitive over the whole strip — AVX2
+// assembly on amd64, an equivalent pure-Go loop elsewhere — with field
+// operands read through unsafe pointers patched once per row (one bounds
+// check per operand per row instead of per point). The primitives widen
+// float32 lanes to float64 exactly as the VM's load opcode does and
+// round after every multiply and after every add (multiply and add are
+// emitted as separate correctly-rounded IEEE instructions, never FMA) —
+// so the engine is bit-exact with the bytecode VM and the interpreter by
+// construction, NaN payloads and signed zeros included. Rows split into
+// a vectorized n&^3 body plus a per-point scalar tail, so any row width
+// runs. Program regions that do not lower to chains fall back to
+// per-instruction row sweeps identical to the VM's.
+//
+// The speedup comes from three removals: the full-row intermediate
+// traffic (the VM materializes every instruction's result as a whole
+// register row; chain values stream through a cache-resident strip
+// accumulator instead), the per-instruction row passes (one fused pass
+// per chain), and the per-instruction slice bounds checks (hoisted to
+// row-patch time), plus 4-lane SIMD arithmetic inside each primitive.
+package native
+
+import (
+	"devigo/internal/bytecode"
+	"devigo/internal/field"
+	"devigo/internal/symbolic"
+)
+
+// Kernel is a compiled loop nest lowered to fused segment programs. It
+// wraps the bytecode kernel it was derived from (sharing its program,
+// scalar pool, slot tables and field bindings) and satisfies the same
+// execution contract (core.ExecKernel).
+type Kernel struct {
+	bk    *bytecode.Kernel
+	slots []bytecode.SlotRef
+	eqs   []bytecode.EqRef
+	segs  []segment
+	tm    *tmpl
+	// fusedInstrs is the per-point dispatch count after fusion: one per
+	// chain link plus one per fallback VM instruction.
+	fusedInstrs int
+}
+
+// segment is one executable region: either a fused link chain or a VM
+// fallback instruction list, in program order.
+type segment struct {
+	shape bytecode.Shape
+	// Link range within the kernel's flat link array (chain shapes).
+	lkLo, lkHi int
+	vm         []bytecode.Instr
+}
+
+// CompileNest compiles one optimized loop nest for the native engine: the
+// bytecode compiler produces the row program, and the segment extraction
+// re-lowers it into fused chains.
+func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
+	fields map[string]*field.Function) (*Kernel, error) {
+	bk, err := bytecode.CompileNest(assigns, eqs, radius, fields)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(bk), nil
+}
+
+// Wrap lowers an already-compiled bytecode kernel into a native kernel.
+// The receiver shares the bytecode kernel's immutable tables; Run never
+// mutates them.
+func Wrap(bk *bytecode.Kernel) *Kernel {
+	k := &Kernel{bk: bk, slots: bk.Slots(), eqs: bk.EqOuts()}
+	segs := bk.Segments()
+	k.segs = make([]segment, len(segs))
+	nlinks := 0
+	for i, s := range segs {
+		k.segs[i] = segment{shape: s.Shape, vm: s.VM}
+		if s.Shape != bytecode.ShapeVM {
+			k.segs[i].lkLo = nlinks
+			nlinks += len(s.Links)
+			k.segs[i].lkHi = nlinks
+			k.fusedInstrs += len(s.Links)
+		} else {
+			k.fusedInstrs += len(s.VM)
+		}
+	}
+	k.buildTemplate(segs)
+	return k
+}
+
+// Bytecode returns the underlying bytecode kernel (introspection for
+// tests, the compilation report and the docs' lowering traces).
+func (k *Kernel) Bytecode() *bytecode.Kernel { return k.bk }
+
+// Segments re-derives the kernel's fused-segment partition.
+func (k *Kernel) Segments() []bytecode.Segment { return k.bk.Segments() }
+
+// BindSyms delegates to the bytecode kernel: the scalar pool layout and
+// the bind-time prelude are shared between the two engines.
+func (k *Kernel) BindSyms(vals map[string]float64) ([]float64, error) {
+	return k.bk.BindSyms(vals)
+}
+
+// FlopsPerPoint reports the per-point flop cost, counted identically to
+// the other engines (fusion changes dispatch, not arithmetic).
+func (k *Kernel) FlopsPerPoint() int { return k.bk.FlopsPerPoint() }
+
+// StencilRadius returns the per-dimension stencil radius.
+func (k *Kernel) StencilRadius() []int { return k.bk.StencilRadius() }
+
+// InstrsPerPoint reports the number of fused dispatches per grid point:
+// one per chain link plus one per fallback VM instruction. It is lower
+// than the bytecode kernel's count (loads are absorbed into chain
+// operands), which is how the autotuner's cost model ranks the engine.
+func (k *Kernel) InstrsPerPoint() int { return k.fusedInstrs }
+
+// Rebind returns a copy of the kernel executing against different storage,
+// resolved by field name. The fused segments, link templates, program and
+// scalar pool are shared with the receiver — like bytecode.Rebind, Run
+// resolves buffer pointers and strides on every call, so the copy is safe
+// to run concurrently with the original. This is the opcache contract:
+// one native compilation is shared across every shot with the same
+// schedule key.
+func (k *Kernel) Rebind(fields map[string]*field.Function) (*Kernel, error) {
+	bk, err := k.bk.Rebind(fields)
+	if err != nil {
+		return nil, err
+	}
+	nk := *k
+	nk.bk = bk
+	return &nk, nil
+}

@@ -1,0 +1,78 @@
+//go:build amd64
+
+// AVX2 strip primitives. Each processes n points (n must be a multiple of
+// 4; callers route remainders through the scalar tail). Bit-exactness with
+// the scalar engines holds because every vector instruction used —
+// VCVTPS2PD, VMULPD, VADDPD, VDIVPD, VCVTPD2PS — performs the same
+// correctly-rounded IEEE-754 operation as its scalar counterpart, and no
+// FMA contraction is ever emitted: a madd is one VMULPD (rounding the
+// product) followed by one VADDPD, exactly matching the VM's
+// float64(a*b) + c.
+//
+// Pointer conventions: d/a/b/c address float64 strips or register rows,
+// f/g address float32 field rows. dst may alias any source (element i is
+// read before it is written).
+
+package native
+
+import "unsafe"
+
+//go:noescape
+func vmovS(d unsafe.Pointer, s float64, n int)
+
+//go:noescape
+func vmulRS(d, a unsafe.Pointer, s float64, n int)
+
+//go:noescape
+func vmulRR(d, a, b unsafe.Pointer, n int)
+
+//go:noescape
+func vmulFS(d, f unsafe.Pointer, s float64, n int)
+
+//go:noescape
+func vmulFR(d, f, r unsafe.Pointer, n int)
+
+//go:noescape
+func vmulFF(d, f, f2 unsafe.Pointer, n int)
+
+//go:noescape
+func vaddRS(d, a unsafe.Pointer, s float64, n int)
+
+//go:noescape
+func vaddRR(d, a, b unsafe.Pointer, n int)
+
+//go:noescape
+func vaddFS(d, f unsafe.Pointer, s float64, n int)
+
+//go:noescape
+func vaddFR(d, f, r unsafe.Pointer, n int)
+
+//go:noescape
+func vaddFF(d, f, f2 unsafe.Pointer, n int)
+
+//go:noescape
+func vmaddFS(d, f unsafe.Pointer, s float64, c unsafe.Pointer, n int)
+
+//go:noescape
+func vmaddFF(d, f, f2, c unsafe.Pointer, n int)
+
+//go:noescape
+func vmaddFR(d, f, r, c unsafe.Pointer, n int)
+
+//go:noescape
+func vmaddRS(d, a unsafe.Pointer, s float64, c unsafe.Pointer, n int)
+
+//go:noescape
+func vmaddRR(d, a, b, c unsafe.Pointer, n int)
+
+//go:noescape
+func vcvtStore(o, a unsafe.Pointer, n int)
+
+//go:noescape
+func vsq(d, a unsafe.Pointer, n int)
+
+//go:noescape
+func vrecip(d, a unsafe.Pointer, n int)
+
+//go:noescape
+func vrecipSq(d, a unsafe.Pointer, n int)

@@ -1,0 +1,149 @@
+//go:build !amd64
+
+// Pure-Go strip primitives, semantically identical to the amd64 assembly
+// versions (simd_amd64.s): same pointer conventions, same rounding at
+// every step. Performance is scalar, correctness is bit-exact.
+
+package native
+
+import "unsafe"
+
+func vmovS(d unsafe.Pointer, s float64, n int) {
+	dd := dsl(d, n)
+	for i := range dd {
+		dd[i] = s
+	}
+}
+
+func vmulRS(d, a unsafe.Pointer, s float64, n int) {
+	dd, aa := dsl(d, n), dsl(a, n)
+	for i := range dd {
+		dd[i] = aa[i] * s
+	}
+}
+
+func vmulRR(d, a, b unsafe.Pointer, n int) {
+	dd, aa, bb := dsl(d, n), dsl(a, n), dsl(b, n)
+	for i := range dd {
+		dd[i] = aa[i] * bb[i]
+	}
+}
+
+func vmulFS(d, f unsafe.Pointer, s float64, n int) {
+	dd, ff := dsl(d, n), fsl(f, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) * s
+	}
+}
+
+func vmulFR(d, f, r unsafe.Pointer, n int) {
+	dd, ff, rr := dsl(d, n), fsl(f, n), dsl(r, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) * rr[i]
+	}
+}
+
+func vmulFF(d, f, g unsafe.Pointer, n int) {
+	dd, ff, gg := dsl(d, n), fsl(f, n), fsl(g, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) * float64(gg[i])
+	}
+}
+
+func vaddRS(d, a unsafe.Pointer, s float64, n int) {
+	dd, aa := dsl(d, n), dsl(a, n)
+	for i := range dd {
+		dd[i] = aa[i] + s
+	}
+}
+
+func vaddRR(d, a, b unsafe.Pointer, n int) {
+	dd, aa, bb := dsl(d, n), dsl(a, n), dsl(b, n)
+	for i := range dd {
+		dd[i] = aa[i] + bb[i]
+	}
+}
+
+func vaddFS(d, f unsafe.Pointer, s float64, n int) {
+	dd, ff := dsl(d, n), fsl(f, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) + s
+	}
+}
+
+func vaddFR(d, f, r unsafe.Pointer, n int) {
+	dd, ff, rr := dsl(d, n), fsl(f, n), dsl(r, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) + rr[i]
+	}
+}
+
+func vaddFF(d, f, g unsafe.Pointer, n int) {
+	dd, ff, gg := dsl(d, n), fsl(f, n), fsl(g, n)
+	for i := range dd {
+		dd[i] = float64(ff[i]) + float64(gg[i])
+	}
+}
+
+func vmaddFS(d, f unsafe.Pointer, s float64, c unsafe.Pointer, n int) {
+	dd, ff, cc := dsl(d, n), fsl(f, n), dsl(c, n)
+	for i := range dd {
+		dd[i] = float64(float64(ff[i])*s) + cc[i]
+	}
+}
+
+func vmaddFF(d, f, g, c unsafe.Pointer, n int) {
+	dd, ff, gg, cc := dsl(d, n), fsl(f, n), fsl(g, n), dsl(c, n)
+	for i := range dd {
+		dd[i] = float64(float64(ff[i])*float64(gg[i])) + cc[i]
+	}
+}
+
+func vmaddFR(d, f, r, c unsafe.Pointer, n int) {
+	dd, ff, rr, cc := dsl(d, n), fsl(f, n), dsl(r, n), dsl(c, n)
+	for i := range dd {
+		dd[i] = float64(float64(ff[i])*rr[i]) + cc[i]
+	}
+}
+
+func vmaddRS(d, a unsafe.Pointer, s float64, c unsafe.Pointer, n int) {
+	dd, aa, cc := dsl(d, n), dsl(a, n), dsl(c, n)
+	for i := range dd {
+		dd[i] = float64(aa[i]*s) + cc[i]
+	}
+}
+
+func vmaddRR(d, a, b, c unsafe.Pointer, n int) {
+	dd, aa, bb, cc := dsl(d, n), dsl(a, n), dsl(b, n), dsl(c, n)
+	for i := range dd {
+		dd[i] = float64(aa[i]*bb[i]) + cc[i]
+	}
+}
+
+func vcvtStore(o, a unsafe.Pointer, n int) {
+	oo, aa := fsl(o, n), dsl(a, n)
+	for i := range oo {
+		oo[i] = float32(aa[i])
+	}
+}
+
+func vsq(d, a unsafe.Pointer, n int) {
+	dd, aa := dsl(d, n), dsl(a, n)
+	for i := range dd {
+		dd[i] = aa[i] * aa[i]
+	}
+}
+
+func vrecip(d, a unsafe.Pointer, n int) {
+	dd, aa := dsl(d, n), dsl(a, n)
+	for i := range dd {
+		dd[i] = 1 / aa[i]
+	}
+}
+
+func vrecipSq(d, a unsafe.Pointer, n int) {
+	dd, aa := dsl(d, n), dsl(a, n)
+	for i := range dd {
+		dd[i] = 1 / (aa[i] * aa[i])
+	}
+}

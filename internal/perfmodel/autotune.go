@@ -60,6 +60,10 @@ type OpProfile struct {
 	// InstrsPerPoint is the summed per-point VM instruction count of the
 	// operator's compiled kernels (bytecode or interpreter programs).
 	InstrsPerPoint int
+	// Engine is the execution engine the kernels compiled for ("bytecode",
+	// "interpreter", "native"); it scales the instruction-latency term of
+	// the roofline (see EngineInstrFactor). Empty means bytecode.
+	Engine string
 	// StreamsPerPoint counts distinct (field, timeOffset) data streams
 	// touched per point: 4 bytes each of DRAM traffic per update.
 	StreamsPerPoint int
@@ -151,6 +155,25 @@ func DefaultHost() Host {
 
 // MaxWorkersDefault returns the default worker-pool cap: GOMAXPROCS.
 func MaxWorkersDefault() int { return runtime.GOMAXPROCS(0) }
+
+// EngineInstrFactor scales Host.SecondsPerInstr by execution engine. The
+// figures are calibration ratios from the repo's own BENCH measurements:
+// the interpreter's per-point stack dispatch runs an order of magnitude
+// slower than the register VM, while the native engine's fused bulk-row
+// chains (SIMD strips on amd64) retire the same instruction stream
+// several times faster. Only the instruction-latency leg of the
+// two-bound roofline scales — the memory-traffic bound is engine-
+// independent, so on bandwidth-bound profiles the engines correctly
+// converge in the model just as they do on hardware.
+func EngineInstrFactor(engine string) float64 {
+	switch engine {
+	case "interpreter":
+		return 10.0
+	case "native":
+		return 0.3
+	}
+	return 1.0
+}
 
 // Candidates enumerates the configuration space the autotuner considers
 // for a profile: halo modes (when distributed), power-of-two worker
@@ -252,7 +275,7 @@ func (h Host) Predict(p OpProfile, c ExecConfig) float64 {
 		w = ntiles
 	}
 
-	perPoint := float64(p.InstrsPerPoint) * h.SecondsPerInstr
+	perPoint := float64(p.InstrsPerPoint) * h.SecondsPerInstr * EngineInstrFactor(p.Engine)
 	if mem := 4 * float64(p.StreamsPerPoint) / h.MemBandwidth; mem > perPoint {
 		perPoint = mem
 	}

@@ -21,7 +21,7 @@ import (
 const dotTol = 1e-8
 
 func engines() []string {
-	return []string{core.EngineBytecode, core.EngineInterpreter}
+	return []string{core.EngineBytecode, core.EngineInterpreter, core.EngineNative}
 }
 
 func TestAdjointDotProduct_Serial(t *testing.T) {

@@ -9,12 +9,18 @@ import (
 	"devigo/internal/mpi"
 )
 
-// The differential suite is the bytecode engine's acceptance gate: for
-// every propagator, the register-VM kernels must produce *bit-identical*
-// wavefields to the expression-tree interpreter — serially and on every
-// rank of a distributed run under each halo-exchange mode. Equality is
-// exact (==), not tolerance-based: both engines are required to emit the
-// same float64 operation sequence per point.
+// The differential suite is the execution engines' acceptance gate: for
+// every propagator, every engine must produce *bit-identical* wavefields
+// to the bytecode register VM — serially and on every rank of a
+// distributed run under each halo-exchange mode and exchange interval.
+// Equality is exact (==), not tolerance-based: all engines are required
+// to emit the same float64 operation sequence per point. The interpreter
+// is the reference implementation; the native engine is the fused
+// bulk-row re-lowering of the bytecode program.
+
+// altEngines are the engines checked pointwise against the bytecode
+// baseline.
+var altEngines = []string{core.EngineInterpreter, core.EngineNative}
 
 // runEngineSerial executes nt steps of a freshly built model with the
 // given engine and returns the model (for field inspection) and result.
@@ -32,7 +38,7 @@ func runEngineSerial(t *testing.T, name, engine string, shape []int, so, nt int)
 }
 
 // compareModels asserts bitwise equality of every buffer of every field.
-func compareModels(t *testing.T, label string, a, b *Model) {
+func compareModels(t *testing.T, label, engine string, a, b *Model) {
 	t.Helper()
 	for name, fa := range a.Fields {
 		fb := b.Fields[name]
@@ -40,8 +46,8 @@ func compareModels(t *testing.T, label string, a, b *Model) {
 			da, db := fa.Bufs[bi].Data, fb.Bufs[bi].Data
 			for i := range da {
 				if da[i] != db[i] && (da[i] == da[i] || db[i] == db[i]) { // NaN==NaN passes
-					t.Fatalf("%s: field %s buf %d diverges at %d: bytecode=%v interpreter=%v",
-						label, name, bi, i, da[i], db[i])
+					t.Fatalf("%s: field %s buf %d diverges at %d: bytecode=%v %s=%v",
+						label, name, bi, i, da[i], engine, db[i])
 				}
 			}
 		}
@@ -53,21 +59,26 @@ func TestEngineDifferential_SerialAllModels(t *testing.T) {
 	for _, name := range ModelNames() {
 		t.Run(name, func(t *testing.T) {
 			mB, resB := runEngineSerial(t, name, core.EngineBytecode, shape, 4, 30)
-			mI, resI := runEngineSerial(t, name, core.EngineInterpreter, shape, 4, 30)
-			if resB.Perf.Engine != core.EngineBytecode || resI.Perf.Engine != core.EngineInterpreter {
-				t.Fatalf("engine labels wrong: %q vs %q", resB.Perf.Engine, resI.Perf.Engine)
+			if resB.Perf.Engine != core.EngineBytecode {
+				t.Fatalf("engine label wrong: %q", resB.Perf.Engine)
 			}
-			if resB.Norm != resI.Norm {
-				t.Errorf("%s: norms diverge: bytecode %v, interpreter %v", name, resB.Norm, resI.Norm)
-			}
-			for it := range resB.Receivers {
-				for r := range resB.Receivers[it] {
-					if resB.Receivers[it][r] != resI.Receivers[it][r] {
-						t.Fatalf("%s: trace (%d,%d) diverges", name, it, r)
+			for _, engine := range altEngines {
+				mX, resX := runEngineSerial(t, name, engine, shape, 4, 30)
+				if resX.Perf.Engine != engine {
+					t.Fatalf("engine label wrong: %q (wanted %q)", resX.Perf.Engine, engine)
+				}
+				if resB.Norm != resX.Norm {
+					t.Errorf("%s: norms diverge: bytecode %v, %s %v", name, resB.Norm, engine, resX.Norm)
+				}
+				for it := range resB.Receivers {
+					for r := range resB.Receivers[it] {
+						if resB.Receivers[it][r] != resX.Receivers[it][r] {
+							t.Fatalf("%s: trace (%d,%d) diverges vs %s", name, it, r, engine)
+						}
 					}
 				}
+				compareModels(t, name, engine, mB, mX)
 			}
-			compareModels(t, name, mB, mI)
 		})
 	}
 }
@@ -79,18 +90,20 @@ func TestEngineDifferential_Serial3D(t *testing.T) {
 	for _, name := range []string{"acoustic", "elastic", "tti"} {
 		t.Run(name, func(t *testing.T) {
 			mB, resB := runEngineSerial(t, name, core.EngineBytecode, []int{14, 14, 14}, 4, 10)
-			mI, resI := runEngineSerial(t, name, core.EngineInterpreter, []int{14, 14, 14}, 4, 10)
-			if resB.Norm != resI.Norm {
-				t.Errorf("%s 3-D: norms diverge: %v vs %v", name, resB.Norm, resI.Norm)
+			for _, engine := range altEngines {
+				mX, resX := runEngineSerial(t, name, engine, []int{14, 14, 14}, 4, 10)
+				if resB.Norm != resX.Norm {
+					t.Errorf("%s 3-D: norms diverge: bytecode %v, %s %v", name, resB.Norm, engine, resX.Norm)
+				}
+				compareModels(t, name, engine, mB, mX)
 			}
-			compareModels(t, name, mB, mI)
 		})
 	}
 }
 
-// runEngineDMP runs a model over a 2x2 decomposition and returns the
-// rank-0 norm and receiver traces.
-func runEngineDMP(t *testing.T, name, engine string, shape []int, mode halo.Mode, so, nt int) (float64, [][]float64) {
+// runEngineDMP runs a model over a 2x2 decomposition with halo-exchange
+// interval k and returns the rank-0 norm and receiver traces.
+func runEngineDMP(t *testing.T, name, engine string, shape []int, mode halo.Mode, so, nt, k int) (float64, [][]float64) {
 	t.Helper()
 	w := mpi.NewWorld(4)
 	var norm float64
@@ -116,7 +129,8 @@ func runEngineDMP(t *testing.T, name, engine string, shape []int, mode halo.Mode
 			return
 		}
 		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: mode}
-		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, Engine: engine, Workers: 2, TileRows: 3})
+		res, err := Run(m, ctx, RunConfig{NT: nt, NReceivers: 4, Engine: engine,
+			Workers: 2, TileRows: 3, TimeTile: k})
 		if err != nil {
 			t.Error(err)
 			return
@@ -135,24 +149,34 @@ func runEngineDMP(t *testing.T, name, engine string, shape []int, mode halo.Mode
 func TestEngineDifferential_DMPAllModelsAllModes(t *testing.T) {
 	shape := []int{24, 24}
 	so, nt := 4, 20
-	for _, name := range []string{"acoustic", "elastic", "tti"} {
+	for _, name := range ModelNames() {
 		for _, mode := range []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull} {
-			t.Run(name+"/"+mode.String(), func(t *testing.T) {
-				normB, tracesB := runEngineDMP(t, name, core.EngineBytecode, shape, mode, so, nt)
-				normI, tracesI := runEngineDMP(t, name, core.EngineInterpreter, shape, mode, so, nt)
-				if normB != normI {
-					t.Errorf("%s/%s: 4-rank norms diverge: bytecode %v, interpreter %v",
-						name, mode, normB, normI)
+			for _, k := range []int{1, 4} {
+				// The interpreter's k coverage rides on k=1; the native
+				// engine is checked at both exchange intervals.
+				engines := []string{core.EngineNative}
+				if k == 1 {
+					engines = altEngines
 				}
-				for it := range tracesB {
-					for r := range tracesB[it] {
-						if tracesB[it][r] != tracesI[it][r] {
-							t.Fatalf("%s/%s: trace (%d,%d) diverges: %v vs %v",
-								name, mode, it, r, tracesB[it][r], tracesI[it][r])
+				t.Run(name+"/"+mode.String()+"/k"+string(rune('0'+k)), func(t *testing.T) {
+					normB, tracesB := runEngineDMP(t, name, core.EngineBytecode, shape, mode, so, nt, k)
+					for _, engine := range engines {
+						normX, tracesX := runEngineDMP(t, name, engine, shape, mode, so, nt, k)
+						if normB != normX {
+							t.Errorf("%s/%s/k=%d: 4-rank norms diverge: bytecode %v, %s %v",
+								name, mode, k, normB, engine, normX)
+						}
+						for it := range tracesB {
+							for r := range tracesB[it] {
+								if tracesB[it][r] != tracesX[it][r] {
+									t.Fatalf("%s/%s/k=%d: trace (%d,%d) diverges: %v vs %s %v",
+										name, mode, k, it, r, tracesB[it][r], engine, tracesX[it][r])
+								}
+							}
 						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -176,4 +200,25 @@ func TestEngineDifferential_BytecodeFaster(t *testing.T) {
 	}
 	t.Logf("acoustic 96x96 so-8: bytecode %.3f GPts/s, interpreter %.3f GPts/s (%.2fx)",
 		gB, gI, gB/gI)
+}
+
+// TestEngineDifferential_NativeFaster guards the native engine's reason to
+// exist: fused bulk-row chains must beat the per-instruction register VM
+// on the acoustic kernel (the precise ≥3x gate lives in devigo-bench).
+func TestEngineDifferential_NativeFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf guard skipped in -short")
+	}
+	shape := []int{96, 96}
+	_, resB := runEngineSerial(t, "acoustic", core.EngineBytecode, shape, 8, 40)
+	_, resN := runEngineSerial(t, "acoustic", core.EngineNative, shape, 8, 40)
+	gB, gN := resB.Perf.GPtss(), resN.Perf.GPtss()
+	if gB <= 0 || gN <= 0 {
+		t.Fatalf("throughputs missing: bytecode %v, native %v", gB, gN)
+	}
+	if gN < gB {
+		t.Errorf("native engine slower than bytecode: %.3f vs %.3f GPts/s", gN, gB)
+	}
+	t.Logf("acoustic 96x96 so-8: native %.3f GPts/s, bytecode %.3f GPts/s (%.2fx)",
+		gN, gB, gN/gB)
 }

@@ -3,6 +3,7 @@ package propagators
 import (
 	"testing"
 
+	"devigo/internal/core"
 	"devigo/internal/grid"
 	"devigo/internal/obs"
 	"devigo/internal/opcache"
@@ -314,5 +315,26 @@ func TestRunShotsRace(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunShotsRaceNative is the native engine's arm of the race pass:
+// concurrent shot workers share one operator cache, so the singleflight
+// compile, the per-shot Rebind of the cached native kernels (the chain
+// template is shared, the field bindings are per-shot) and the strip
+// executor's worker pools all run under the race detector at once.
+func TestRunShotsRaceNative(t *testing.T) {
+	gc := surveyGradient()
+	gc.Engine = core.EngineNative
+	cache := opcache.New()
+	// Two passes over the same cache: the first compiles (singleflight
+	// under contention), the second rebinds cache hits concurrently.
+	for pass := 0; pass < 2; pass++ {
+		_, err := RunShots("acoustic", surveyConfig(), ShotsConfig{
+			Gradient: gc, Shots: surveyShots(), Workers: 3, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
