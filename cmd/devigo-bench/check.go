@@ -34,6 +34,13 @@ import (
 //	fwiservice-timing  amortized speedup >= 2x over the cold baseline;
 //	                   worker scaling >= 2x at 4 workers when the
 //	                   generating host had >= 4 cores
+//	hybrid             zero-allocation dispatch certification, sweep
+//	                   bit-exactness at every engine x worker count,
+//	                   schema/counter sanity of the pool runtime
+//	hybrid-timing      pool dispatch no slower than fork-join; >= 2x
+//	                   native scaling at 4 workers and an autotuner
+//	                   worker choice > 1, both only when the generating
+//	                   host had >= 4 cores
 //
 // The split autotune and fwiservice groups let CI retry the timing half
 // (noisy on a preempted shared runner) without ever retrying a
@@ -41,7 +48,7 @@ import (
 func runCheck(dir, only string, models []string) error {
 	groups := map[string]bool{}
 	if only == "" {
-		only = "exec,adjoint,autotune,timetile,transport,fwiservice"
+		only = "exec,adjoint,autotune,timetile,transport,fwiservice,hybrid"
 	}
 	for _, g := range strings.Split(only, ",") {
 		g = strings.TrimSpace(g)
@@ -52,7 +59,7 @@ func runCheck(dir, only string, models []string) error {
 		}
 		switch g {
 		case "exec", "adjoint", "autotune-exact", "autotune-timing", "timetile", "transport",
-			"fwiservice", "fwiservice-timing":
+			"fwiservice", "fwiservice-timing", "hybrid", "hybrid-timing":
 			groups[g] = true
 		default:
 			return fmt.Errorf("unknown check group %q", g)
@@ -92,6 +99,11 @@ func runCheck(dir, only string, models []string) error {
 		checked++
 		checkFWIServiceFile(filepath.Join(dir, "BENCH_fwiservice.json"),
 			groups["fwiservice"], groups["fwiservice-timing"], add)
+	}
+	if groups["hybrid"] || groups["hybrid-timing"] {
+		checked++
+		checkHybridFile(filepath.Join(dir, "BENCH_hybrid.json"),
+			groups["hybrid"], groups["hybrid-timing"], add)
 	}
 	if checked == 0 {
 		return fmt.Errorf("-only %q selected no gate group", only)
@@ -358,6 +370,107 @@ func checkFWIServiceFile(path string, hard, timing bool, add func(file, msg stri
 			if pt.Workers == 4 && r.HostCores >= 4 && pt.SpeedupVs1Worker < 2 {
 				add(name, fmt.Sprintf("sweep[workers=4]: speedup_vs_1worker = %.2f on a %d-core host, want >= 2",
 					pt.SpeedupVs1Worker, r.HostCores))
+			}
+		}
+	}
+}
+
+// checkHybridFile validates the persistent MPI+X worker-runtime report.
+// The hard half holds deterministically on any machine: the raw pool
+// dispatch path allocates exactly zero (the park/dispatch protocol's
+// defining property), the full engine path's steady-state amortizes to a
+// small constant, every scaling-sweep point is bit-identical to its
+// engine's 1-worker baseline, the sweep covers all three engines at
+// workers {1,2,4,7}, and the 4-rank full-overlap run actually drove the
+// pool (dispatches > 0, measured sync cost > 0). The timing half gates
+// the dispatch-mechanism race (the persistent pool must not lose to
+// per-call fork-join at equal width, with a noise margin at w=1 where
+// both run inline) and — only when the generating host recorded >= 4
+// cores — native >= 2x scaling at 4 workers plus the joint autotuner
+// exploiting the workers axis.
+func checkHybridFile(path string, hard, timing bool, add func(file, msg string)) {
+	const name = "BENCH_hybrid.json"
+	var r HybridReport
+	if !loadReport(path, &r, add) {
+		return
+	}
+	if hard {
+		if r.Scenario != "hybrid" {
+			add(name, fmt.Sprintf("scenario = %q, want \"hybrid\"", r.Scenario))
+		}
+		if r.HostCores < 1 {
+			add(name, fmt.Sprintf("host_cores = %d, want >= 1", r.HostCores))
+		}
+		if r.PoolDispatchAllocs != 0 {
+			add(name, fmt.Sprintf("pool_dispatch_allocs = %g, want exactly 0 (zero-allocation dispatch)", r.PoolDispatchAllocs))
+		}
+		if r.SteadyAllocsPerStep > 32 {
+			add(name, fmt.Sprintf("steady_allocs_per_step = %g, want <= 32 (kernel dispatch is alloc-free; only the source-injection wrapper's small constant remains)", r.SteadyAllocsPerStep))
+		}
+		if r.SyncCostSec <= 0 {
+			add(name, fmt.Sprintf("sync_cost_sec = %g, want > 0 (measured pool handshake)", r.SyncCostSec))
+		}
+		engines := map[string]map[int]bool{}
+		for _, pt := range r.Sweep {
+			tag := fmt.Sprintf("sweep[%s w=%d]", pt.Engine, pt.Workers)
+			if !pt.BitExact {
+				add(name, tag+": bit_exact_vs_1worker = false")
+			}
+			if pt.Gptss <= 0 {
+				add(name, fmt.Sprintf("%s: gptss = %v, want > 0", tag, pt.Gptss))
+			}
+			if engines[pt.Engine] == nil {
+				engines[pt.Engine] = map[int]bool{}
+			}
+			engines[pt.Engine][pt.Workers] = true
+		}
+		for _, engine := range []string{"interpreter", "bytecode", "native"} {
+			for _, w := range []int{1, 2, 4, 7} {
+				if !engines[engine][w] {
+					add(name, fmt.Sprintf("sweep missing %s at %d workers", engine, w))
+				}
+			}
+		}
+		dispatch := map[int]bool{}
+		for _, d := range r.Dispatch {
+			dispatch[d.Workers] = true
+			if d.PoolGptss <= 0 || d.ForkJoinGptss <= 0 {
+				add(name, fmt.Sprintf("dispatch[w=%d]: pool %v / forkjoin %v GPts/s, want both > 0",
+					d.Workers, d.PoolGptss, d.ForkJoinGptss))
+			}
+		}
+		for _, w := range []int{1, 4} {
+			if !dispatch[w] {
+				add(name, fmt.Sprintf("dispatch comparison missing w=%d", w))
+			}
+		}
+		if r.PoolDispatches <= 0 {
+			add(name, fmt.Sprintf("pool_dispatches = %d, want > 0 (the 4-rank run must drive the pool)", r.PoolDispatches))
+		}
+		if r.Obs.Total.PoolSyncNs <= 0 {
+			add(name, "obs.total.pool_sync_ns = 0, want > 0 (pool counters not wired into the registry)")
+		}
+	}
+	if timing {
+		for _, d := range r.Dispatch {
+			if d.Workers == 1 && d.PoolOverForkJoin < 0.85 {
+				add(name, fmt.Sprintf("dispatch[w=1]: pool_over_forkjoin = %.3f, want >= 0.85 (both inline at w=1)", d.PoolOverForkJoin))
+			}
+			if d.Workers == 4 && r.HostCores >= 4 && d.PoolOverForkJoin < 0.9 {
+				add(name, fmt.Sprintf("dispatch[w=4]: pool_over_forkjoin = %.3f on a %d-core host, want >= 0.9",
+					d.PoolOverForkJoin, r.HostCores))
+			}
+		}
+		if r.HostCores >= 4 {
+			for _, pt := range r.Sweep {
+				if pt.Engine == "native" && pt.Workers == 4 && pt.SpeedupVs1Worker < 2 {
+					add(name, fmt.Sprintf("sweep[native w=4]: speedup_vs_1worker = %.2f on a %d-core host, want >= 2",
+						pt.SpeedupVs1Worker, r.HostCores))
+				}
+			}
+			if r.AutotuneModelWorkers <= 1 {
+				add(name, fmt.Sprintf("autotune_model_workers = %d on a %d-core host, want > 1 (joint tuner must exploit the workers axis)",
+					r.AutotuneModelWorkers, r.HostCores))
 			}
 		}
 	}

@@ -63,6 +63,18 @@
 //
 //	devigo-bench -exp fwiservice -size 36 -nt 8 -shots 8 -out .
 //
+// -exp hybrid certifies the persistent MPI+X worker runtime: raw pool
+// dispatches and the full engine path are measured for steady-state heap
+// allocations (the dispatch protocol must allocate exactly zero), the
+// persistent pool races the legacy fork-join dispatch, a worker scaling
+// sweep over all three engines records throughput plus bit-exactness
+// against the 1-worker baseline, the joint autotuner reports the team
+// size it picks with the workers axis open, and a 4-rank full-overlap
+// time-tiled run snapshots the pool's sync/idle/steal counters — writing
+// BENCH_hybrid.json:
+//
+//	devigo-bench -exp hybrid -size 96 -nt 24 -out .
+//
 // -exp observatory runs the continuous perf observatory: a compact
 // measured sweep (scenario x ranks x halo mode x exchange interval),
 // appended to a stored run history with regression detection against the
@@ -70,6 +82,13 @@
 // scatter, measured-vs-model communication, autotuner regret):
 //
 //	devigo-bench -exp observatory -out . -history BENCH_history.json
+//
+// With -diff, the observatory compares two stored history entries
+// instead of sweeping: each side names an entry by its timestamp or by
+// integer index (negative counts from the newest), and the per-run
+// throughput delta table is printed:
+//
+//	devigo-bench -exp observatory -history BENCH_history.json -diff -2,-1
 //
 // -check validates previously-emitted BENCH_*.json files against the
 // repository's perf/correctness gates (the CI gates, in Go instead of
@@ -95,7 +114,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|transport|fwiservice|observatory|all")
+	exp := flag.String("exp", "strong", "experiment: strong|weak|roofline|selectmode|exec|adjoint|autotune|timetile|transport|fwiservice|hybrid|observatory|all")
 	model := flag.String("model", "acoustic", "kernel: acoustic|elastic|tti|viscoelastic|all")
 	arch := flag.String("arch", "cpu", "platform: cpu|gpu|all")
 	soFlag := flag.String("so", "8", "space orders, comma separated (4,8,12,16)")
@@ -106,9 +125,10 @@ func main() {
 	out := flag.String("out", ".", "exec/adjoint/observatory: directory for BENCH_*.json")
 	check := flag.Bool("check", false, "validate BENCH_*.json gates in -dir instead of running an experiment")
 	dir := flag.String("dir", ".", "check: directory holding the BENCH_*.json files")
-	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile,transport,fwiservice,fwiservice-timing)")
+	only := flag.String("only", "", "check: comma-separated gate groups (exec,adjoint,autotune,autotune-exact,autotune-timing,timetile,transport,fwiservice,fwiservice-timing,hybrid,hybrid-timing)")
 	history := flag.String("history", "", "observatory: run-history JSON path (default <out>/BENCH_history.json)")
 	regressWarn := flag.Bool("regress-warn", false, "observatory: report regressions as warnings instead of failing")
+	diff := flag.String("diff", "", "observatory: compare two history entries (\"a,b\": timestamps or indices, negative from newest) instead of sweeping")
 	flag.Parse()
 
 	err := func() error {
@@ -119,7 +139,7 @@ func main() {
 			}
 			return runCheck(*dir, *only, models)
 		}
-		return run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *shots, *out, *history, *regressWarn)
+		return run(*exp, *model, *arch, *soFlag, *size, *nt, *ckpt, *shots, *out, *history, *diff, *regressWarn)
 	}()
 	if ferr := obs.FlushEnv(); ferr != nil && err == nil {
 		err = ferr
@@ -132,7 +152,7 @@ func main() {
 
 // run dispatches one experiment; any failure propagates to a non-zero
 // exit so CI jobs consuming the tool can actually fail.
-func run(exp, model, arch, soFlag string, size, nt, ckpt, shots int, out, history string, regressWarn bool) error {
+func run(exp, model, arch, soFlag string, size, nt, ckpt, shots int, out, history, diff string, regressWarn bool) error {
 	sos, err := parseSOs(soFlag)
 	if err != nil {
 		return err
@@ -170,7 +190,12 @@ func run(exp, model, arch, soFlag string, size, nt, ckpt, shots int, out, histor
 		return runAutotuneExp(models, sos, size, nt, out)
 	case "timetile":
 		return runTimetile(models, sos, size, nt, out)
+	case "hybrid":
+		return runHybrid(size, nt, out)
 	case "observatory":
+		if diff != "" {
+			return runObservatoryDiff(out, history, diff)
+		}
 		return runObservatory(out, history, regressWarn)
 	case "transport":
 		return runTransport(size, nt, out)

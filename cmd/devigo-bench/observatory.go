@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"devigo/internal/core"
@@ -218,6 +220,98 @@ func runObservatory(outDir, historyPath string, regressWarn bool) error {
 		return msg
 	}
 	return nil
+}
+
+// runObservatoryDiff is the observatory's -diff mode: instead of
+// sweeping, it loads the stored history and prints the per-run
+// throughput delta between two entries. spec is "a,b" where each side
+// resolves an entry by exact timestamp or by integer index (0 = oldest;
+// negative counts back from the newest, so "-2,-1" compares the last two
+// runs). Cross-host comparisons are allowed but flagged, since absolute
+// throughput only means something on one fingerprint.
+func runObservatoryDiff(outDir, historyPath, spec string) error {
+	if historyPath == "" {
+		historyPath = filepath.Join(outDir, "BENCH_history.json")
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-diff wants two comma-separated entries, got %q", spec)
+	}
+	hist, err := loadHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	if len(hist.Entries) == 0 {
+		return fmt.Errorf("%s holds no history entries", historyPath)
+	}
+	a, err := resolveHistoryEntry(hist, strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	b, err := resolveHistoryEntry(hist, strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Observatory diff: %s -> %s\n", a.Time, b.Time)
+	if a.Host.Key() != b.Host.Key() {
+		fmt.Printf("  WARNING: entries ran on different hosts (%s vs %s); ratios are not comparable\n",
+			a.Host.Key(), b.Host.Key())
+	}
+	names := make([]string, 0, len(a.Gptss)+len(b.Gptss))
+	seen := map[string]bool{}
+	for name := range a.Gptss {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range b.Gptss {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-28s %12s %12s %8s\n", "run", "a GPts/s", "b GPts/s", "b/a")
+	for _, name := range names {
+		ga, oka := a.Gptss[name]
+		gb, okb := b.Gptss[name]
+		switch {
+		case !oka:
+			fmt.Printf("%-28s %12s %12.4f %8s\n", name, "-", gb, "new")
+		case !okb:
+			fmt.Printf("%-28s %12.4f %12s %8s\n", name, ga, "-", "gone")
+		default:
+			tag := ""
+			if ga > 0 {
+				ratio := gb / ga
+				tag = fmt.Sprintf("%.2fx", ratio)
+				if ratio < regressThreshold {
+					tag += " REGRESSED"
+				}
+			}
+			fmt.Printf("%-28s %12.4f %12.4f %8s\n", name, ga, gb, tag)
+		}
+	}
+	return nil
+}
+
+// resolveHistoryEntry finds one history entry by exact timestamp match,
+// falling back to an integer index (negative from the newest entry).
+func resolveHistoryEntry(hist History, key string) (HistoryEntry, error) {
+	for _, e := range hist.Entries {
+		if e.Time == key {
+			return e, nil
+		}
+	}
+	idx, err := strconv.Atoi(key)
+	if err != nil {
+		return HistoryEntry{}, fmt.Errorf("history entry %q: no such timestamp and not an index", key)
+	}
+	if idx < 0 {
+		idx += len(hist.Entries)
+	}
+	if idx < 0 || idx >= len(hist.Entries) {
+		return HistoryEntry{}, fmt.Errorf("history index %q out of range (0..%d)", key, len(hist.Entries)-1)
+	}
+	return hist.Entries[idx], nil
 }
 
 // observatorySweep measures every sweep point. Serial points carry the

@@ -121,6 +121,11 @@ type Kernel struct {
 
 	numRegs int
 	flops   int
+
+	// st is the kernel's private reusable dispatch state (slot tables,
+	// per-worker scratch). Allocated at compile time and replaced on
+	// Rebind, never shared between kernel copies.
+	st *bcState
 }
 
 // BindSyms builds the execution-time scalar pool from a name->value map:

@@ -98,6 +98,7 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 		}
 	}
 	k.numRegs = int(c.nextReg)
+	k.st = newBCState(k)
 	return k, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"devigo/internal/mpi"
 	"devigo/internal/obs"
 	"devigo/internal/perfmodel"
+	"devigo/internal/runtime"
 )
 
 // Autotune policies: the compiler-picks-the-configuration loop of the
@@ -137,6 +138,9 @@ func (op *Operator) adopt(cfg perfmodel.ExecConfig) error {
 	if cfg.TileRows > 0 {
 		op.execOpts.TileRows = cfg.TileRows
 	}
+	// Resize the persistent team (and its stealing twin shellOpts) to the
+	// adopted worker count before the next dispatch.
+	op.ensurePool()
 	if op.ctx != nil && !op.ctx.Serial() && cfg.Mode != halo.ModeNone && cfg.Mode != op.mode {
 		if err := op.Retarget(cfg.Mode); err != nil {
 			return err
@@ -152,6 +156,26 @@ func (op *Operator) adopt(cfg perfmodel.ExecConfig) error {
 		}
 	}
 	return nil
+}
+
+// measurePoolSync replaces the host model's order-of-magnitude fork-join
+// cost with the measured dispatch cost (publish + wake + join) of a
+// persistent worker pool on this machine, so the workers axis is ranked
+// against real sync overhead. The operator's own pool is probed when one
+// is live; otherwise a transient team of the planning width is timed and
+// released. Fork-join operators keep the model default — per-call
+// goroutine dispatch is what they will actually pay.
+func (op *Operator) measurePoolSync(h *perfmodel.Host, maxWorkers int) {
+	if op.forkJoin || maxWorkers <= 1 {
+		return
+	}
+	if op.pool != nil && op.pool.Workers() > 1 {
+		h.PoolSync = op.pool.SyncCost()
+		return
+	}
+	p := runtime.NewPool(maxWorkers, op.obsRank())
+	defer p.Close()
+	h.PoolSync = p.SyncCost()
 }
 
 // tileProfile derives the exchange-interval figures of the profile: the
@@ -183,6 +207,7 @@ func (op *Operator) tileProfile() (stride, streams int) {
 func (op *Operator) autotune(policy string, step func(int), next *int, remaining *int, dir int) error {
 	prof := op.Profile()
 	host := perfmodel.DefaultHost()
+	op.measurePoolSync(&host, prof.MaxWorkers)
 	rank := op.obsRank()
 	if policy == AutotuneModel {
 		plan := perfmodel.Plan(host, prof)

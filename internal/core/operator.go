@@ -57,6 +57,18 @@ type Operator struct {
 	// receive buffers.
 	tileExchangers map[ir.HaloReq]halo.Exchanger
 	execOpts       runtime.ExecOpts
+	// shellOpts mirrors execOpts with work-stealing enabled: the
+	// shrinking time-tile shell boxes are load-imbalanced across the
+	// static block-cyclic partition, so only they opt into stealing.
+	shellOpts runtime.ExecOpts
+	// pool is the persistent per-rank worker team (nil when serial or
+	// fork-join dispatch is forced). Workers spawn once and park between
+	// dispatches; the pool survives Retarget/RetargetTimeTile/Rebind and
+	// is released by Close.
+	pool *runtime.Pool
+	// forkJoin pins the legacy per-call goroutine dispatch (the baseline
+	// the hybrid benchmark compares the pool against).
+	forkJoin bool
 	// mode is the operator's own halo pattern: seeded from the context at
 	// construction, switchable afterwards via Retarget (the context is
 	// shared between operators and is never mutated).
@@ -156,8 +168,14 @@ func (p Perf) GPtss() float64 {
 type Options struct {
 	// Name labels the generated kernel (default "Kernel").
 	Name string
-	// Workers is the simulated thread count for loop execution.
+	// Workers is the simulated thread count for loop execution. The
+	// DEVIGO_WORKERS environment variable applies when unset (0); both
+	// count as forced — the autotuner never overrides an explicit choice.
 	Workers int
+	// ForkJoin forces the legacy per-call goroutine dispatch instead of
+	// the persistent worker pool — the overhead baseline devigo-bench's
+	// hybrid experiment measures the pool against.
+	ForkJoin bool
 	// TileRows controls progress granularity for overlap mode.
 	TileRows int
 	// Engine selects the execution engine: EngineBytecode (default) or
@@ -188,18 +206,24 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 	name := "Kernel"
 	requestedEngine := ""
 	requestedTile := 0
+	requestedWorkers := 0
 	if opts != nil {
 		if opts.Name != "" {
 			name = opts.Name
 		}
 		requestedEngine = opts.Engine
 		requestedTile = opts.TimeTile
+		requestedWorkers = opts.Workers
 	}
 	engine, err := resolveEngine(requestedEngine)
 	if err != nil {
 		return nil, err
 	}
 	tileReq, err := resolveTimeTile(requestedTile)
+	if err != nil {
+		return nil, err
+	}
+	workersReq, err := resolveWorkers(requestedWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -328,11 +352,12 @@ func NewOperator(eqs []symbolic.Eq, fields map[string]*field.Function, g *grid.G
 	}
 	op.Tree = op.lowerTree()
 	if opts != nil {
-		op.execOpts.Workers = opts.Workers
 		op.execOpts.TileRows = opts.TileRows
-		op.forcedWorkers = opts.Workers > 0
 		op.forcedTileRows = opts.TileRows > 0
+		op.forkJoin = opts.ForkJoin
 	}
+	op.execOpts.Workers = workersReq
+	op.forcedWorkers = workersReq > 0
 	if op.execOpts.TileRows <= 0 {
 		op.execOpts.TileRows = 8
 	}
@@ -397,6 +422,51 @@ func (op *Operator) obsRank() int {
 	}
 	return 0
 }
+
+// ensurePool reconciles the persistent worker team with the operator's
+// current worker count: it spawns a team when more than one worker is
+// configured (unless fork-join dispatch is forced), resizes by replacing
+// a mismatched or closed team, and releases the team when the operator
+// drops back to serial. It also refreshes shellOpts, the stealing twin of
+// execOpts. Called at the head of every Apply and after every autotune
+// adoption — the pool itself survives Retarget/RetargetTimeTile/Rebind
+// untouched (those never change the worker count).
+func (op *Operator) ensurePool() {
+	w := op.execOpts.Workers
+	if w <= 1 || op.forkJoin {
+		if op.pool != nil {
+			op.pool.Close()
+			op.pool = nil
+		}
+		op.execOpts.Pool = nil
+	} else {
+		if op.pool == nil || op.pool.Closed() || op.pool.Workers() != w {
+			if op.pool != nil {
+				op.pool.Close()
+			}
+			op.pool = runtime.NewPool(w, op.obsRank())
+		}
+		op.execOpts.Pool = op.pool
+	}
+	op.shellOpts = op.execOpts
+	op.shellOpts.Steal = true
+}
+
+// Close releases the operator's persistent worker team (its parked
+// goroutines exit). Idempotent and safe on serial operators; a later
+// Apply respawns the team on demand.
+func (op *Operator) Close() {
+	if op.pool != nil {
+		op.pool.Close()
+		op.pool = nil
+		op.execOpts.Pool = nil
+		op.shellOpts.Pool = nil
+	}
+}
+
+// Pool exposes the operator's persistent worker team (nil when serial or
+// fork-join dispatch is forced) — benchmarks read its dispatch counters.
+func (op *Operator) Pool() *runtime.Pool { return op.pool }
 
 // buildExchangers instantiates one exchanger per exchanged field for the
 // operator's current mode and exchange depth (clearing any previous set —
@@ -567,6 +637,9 @@ func (op *Operator) Apply(a *ApplyOpts) error {
 	// have deepened shared fields' ghost storage since our exchangers
 	// preallocated their regions.
 	op.ensureExchangers()
+	// Spawn (or resize) the persistent worker team before the first
+	// dispatch; a Close between Applies is undone here.
+	op.ensurePool()
 
 	// Preamble: hoisted exchanges of time-invariant fields, once — the
 	// schedule's own preamble plus the parameters the time-tiling shell

@@ -334,7 +334,9 @@ func (op *Operator) tiledStep(t int, bound [][]float64, localShape []int, remain
 			sp.End()
 			sp = obs.Begin(rank, obs.PhaseShell, t)
 			for _, rb := range remainderBoxes(box, owned) {
-				k.Run(t, rb, bound[si], &op.execOpts)
+				// Shell slabs are thin and uneven: let drained workers
+				// steal across the static partition.
+				k.Run(t, rb, bound[si], &op.shellOpts)
 			}
 			sp.End()
 			op.perf.ComputeSeconds += time.Since(cs).Seconds()
@@ -343,7 +345,13 @@ func (op *Operator) tiledStep(t int, bound [][]float64, localShape []int, remain
 		}
 		sp := obs.Begin(rank, obs.PhaseCompute, t)
 		cs := time.Now()
-		k.Run(t, box, bound[si], &op.execOpts)
+		eo := &op.execOpts
+		if box.Size() > owned.Size() {
+			// The sweep includes the shrinking ghost shell — the
+			// load-imbalanced case bounded stealing exists for.
+			eo = &op.shellOpts
+		}
+		k.Run(t, box, bound[si], eo)
 		op.perf.ComputeSeconds += time.Since(cs).Seconds()
 		op.perf.PointsUpdated += int64(box.Size())
 		sp.End()

@@ -220,130 +220,256 @@ func (k *Kernel) patchRow(e *exec, n int, bases []int,
 	}
 }
 
+// natScratch is one worker's private sweep state: the odometer, the
+// per-field row bases, the register file and a cached exec whose
+// register-row pointers are re-patched (allocation-free) whenever the
+// row pitch or the register backing array changes.
+type natScratch struct {
+	idx    []int
+	bases  []int
+	regs   []float64
+	ex     *exec
+	stride int
+}
+
+// natState is the kernel's reusable dispatch state, allocated eagerly at
+// Wrap/Rebind time so the steady-state Run path performs no heap
+// allocation. Slice *contents* are refilled every Run (buffer rotation
+// makes the t-dependent data pointers change per step); the backing
+// arrays persist. Rebind installs a fresh state in the copy, so rebound
+// kernels stay safe to run concurrently with the original.
+type natState struct {
+	task     natTask
+	slotData [][]float32
+	slotOff  []int
+	outData  [][]float32
+	ws       []*natScratch
+}
+
+func newNatState(k *Kernel) *natState {
+	return &natState{
+		slotData: make([][]float32, len(k.slots)),
+		slotOff:  make([]int, len(k.slots)),
+		outData:  make([][]float32, len(k.eqs)),
+	}
+}
+
+// refill resolves the per-(field,timeOff) data slices and flat stencil
+// displacements against the current strides, once per Run.
+func (st *natState) refill(k *Kernel, t int, b runtime.Box) {
+	fields := k.bk.Fields
+	for i, s := range k.slots {
+		f := fields[s.Field]
+		st.slotData[i] = f.Buf(t + s.TimeOff).Data
+		flat := 0
+		for d := 0; d < len(b.Lo); d++ {
+			flat += s.Off[d] * f.Bufs[0].Strides[d]
+		}
+		st.slotOff[i] = flat
+	}
+	for i, e := range k.eqs {
+		st.outData[i] = fields[e.Field].Buf(t + e.TimeOff).Data
+	}
+}
+
+// prep readies worker scratch sc for a Run with the given register-file
+// length and row pitch. Register rows are re-pointed only when geometry
+// changed; scalar-pool values are refreshed every Run (BindSyms produces a
+// new pool per operator/shot). Steady state with unchanged geometry
+// performs no allocation. Called from the single-threaded dispatch
+// prologue only.
+func (k *Kernel) prep(sc *natScratch, pool []float64, regLen, stride int) {
+	if len(sc.regs) < regLen {
+		sc.regs = make([]float64, regLen)
+		sc.ex = nil
+	}
+	if sc.ex == nil {
+		sc.ex = &exec{
+			links: append([]xlink(nil), k.tm.links...),
+			acc:   make([]float64, stripN),
+			tt:    make([]float64, stripN),
+		}
+		sc.stride = -1
+	}
+	if sc.stride != stride {
+		sc.stride = stride
+		for _, p := range k.tm.rs {
+			setPtr(&sc.ex.links[p.li], p.pos, unsafe.Pointer(&sc.regs[int(p.reg)*stride]))
+		}
+	}
+	for _, p := range k.tm.ss {
+		sc.ex.links[p.li].sv = pool[p.pool]
+	}
+}
+
+// ensureScratch grows the per-worker scratch table to `workers` entries.
+// Called from the single-threaded dispatch prologue only, never from
+// workers, so the pool path indexes a stable table.
+func (st *natState) ensureScratch(workers, nd, nf int) {
+	for len(st.ws) < workers {
+		st.ws = append(st.ws, &natScratch{idx: make([]int, nd), bases: make([]int, nf)})
+	}
+}
+
+// natTask adapts one Run invocation to the pool's Task contract. It lives
+// inside the kernel's natState so handing it to the pool converts a
+// pointer to an interface without allocating.
+type natTask struct {
+	k        *Kernel
+	b        runtime.Box
+	pool     []float64
+	tileRows int
+	maxRow   int
+}
+
+// RunTile executes one row band with worker w's scratch.
+func (tk *natTask) RunTile(w, tile int) {
+	lo, hi := runtime.TileBounds(tk.b, tile, tk.tileRows)
+	tk.k.runTile(tk.k.st.ws[w], tk.b, lo, hi, tk.maxRow, tk.pool)
+}
+
+// runTile executes rows [lo,hi) of the box's outer dimension with worker
+// scratch sc: an odometer over dims 0..nd-2, the innermost dimension as
+// the contiguous row.
+func (k *Kernel) runTile(sc *natScratch, b runtime.Box, lo, hi, maxRow int, pool []float64) {
+	st := k.st
+	fields := k.bk.Fields
+	nd := len(b.Lo)
+	idx := sc.idx[:nd]
+	copy(idx, b.Lo)
+	idx[0] = lo
+	bases := sc.bases[:len(fields)]
+	rowLen := b.Hi[nd-1] - b.Lo[nd-1]
+	if nd == 1 {
+		rowLen = hi - lo
+	}
+	for {
+		for fi, f := range fields {
+			base := 0
+			for d := 0; d < nd; d++ {
+				base += (idx[d] + f.Halo[d]) * f.Bufs[0].Strides[d]
+			}
+			bases[fi] = base
+		}
+		k.execRow(sc.ex, sc.regs, maxRow, rowLen, bases, st.slotData, st.slotOff, st.outData, pool)
+		d := nd - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			limit := b.Hi[d]
+			if d == 0 {
+				limit = hi
+			}
+			if idx[d] < limit {
+				break
+			}
+			if d == 0 {
+				break
+			}
+			idx[d] = b.Lo[d]
+		}
+		if d < 0 {
+			break
+		}
+		if d == 0 && idx[0] >= hi {
+			break
+		}
+	}
+}
+
 // Run executes the fused program at every point of the box for logical
 // timestep t. It preserves the engine execution contract exactly —
 // row-major point order, equations in program order at each point, tiling
 // over the outer dimension, worker-pool parallelism and the Progress prod
 // between tiles — so all halo-exchange modes run unchanged (this loop
-// structure mirrors the bytecode VM's Run).
+// structure mirrors the bytecode VM's Run), and results are bit-identical
+// for every worker count and dispatch mode (tiles are disjoint row bands).
 func (k *Kernel) Run(t int, b runtime.Box, pool []float64, opts *runtime.ExecOpts) {
 	if b.Empty() {
 		return
 	}
 	workers, tileRows := 1, 0
 	var progress func()
+	var wp *runtime.Pool
+	steal := false
 	if opts != nil {
 		if opts.Workers > 1 {
 			workers = opts.Workers
 		}
 		tileRows = opts.TileRows
 		progress = opts.Progress
-	}
-	fields := k.bk.Fields
-	slotData := make([][]float32, len(k.slots))
-	slotOff := make([]int, len(k.slots))
-	for i, s := range k.slots {
-		f := fields[s.Field]
-		slotData[i] = f.Buf(t + s.TimeOff).Data
-		flat := 0
-		for d := 0; d < len(b.Lo); d++ {
-			flat += s.Off[d] * f.Bufs[0].Strides[d]
+		if opts.Pool != nil && opts.Pool.Workers() > 1 {
+			wp = opts.Pool
+			workers = wp.Workers()
 		}
-		slotOff[i] = flat
+		steal = opts.Steal
 	}
-	outData := make([][]float32, len(k.eqs))
-	for i, e := range k.eqs {
-		outData[i] = fields[e.Field].Buf(t + e.TimeOff).Data
-	}
-
 	nd := len(b.Lo)
 	outer := b.Hi[0] - b.Lo[0]
 	if tileRows <= 0 || tileRows > outer {
 		tileRows = outer
 	}
-	type tile struct{ lo, hi int }
-	var tiles []tile
-	for lo := b.Lo[0]; lo < b.Hi[0]; lo += tileRows {
-		hi := lo + tileRows
-		if hi > b.Hi[0] {
-			hi = b.Hi[0]
-		}
-		tiles = append(tiles, tile{lo, hi})
-	}
-
+	ntiles := runtime.TileCount(b, tileRows)
 	maxRow := b.Hi[nd-1] - b.Lo[nd-1]
 	if nd == 1 {
 		maxRow = tileRows
 	}
 	numRegs := k.bk.NumRegisters()
 
-	runTile := func(tl tile, regs []float64, ex *exec) {
-		idx := make([]int, nd)
-		copy(idx, b.Lo)
-		idx[0] = tl.lo
-		bases := make([]int, len(fields))
-		rowLen := b.Hi[nd-1] - b.Lo[nd-1]
-		if nd == 1 {
-			rowLen = tl.hi - tl.lo
-		}
-		for {
-			for fi, f := range fields {
-				base := 0
-				for d := 0; d < nd; d++ {
-					base += (idx[d] + f.Halo[d]) * f.Bufs[0].Strides[d]
-				}
-				bases[fi] = base
-			}
-			k.execRow(ex, regs, maxRow, rowLen, bases, slotData, slotOff, outData, pool)
-			d := nd - 2
-			for ; d >= 0; d-- {
-				idx[d]++
-				limit := b.Hi[d]
-				if d == 0 {
-					limit = tl.hi
-				}
-				if idx[d] < limit {
-					break
-				}
-				if d == 0 {
-					break
-				}
-				idx[d] = b.Lo[d]
-			}
-			if d < 0 {
-				break
-			}
-			if d == 0 && idx[0] >= tl.hi {
-				break
-			}
-		}
-	}
+	st := k.st
+	st.refill(k, t, b)
+	st.ensureScratch(workers, nd, len(k.bk.Fields))
 
+	if wp != nil {
+		for _, sc := range st.ws[:workers] {
+			k.prep(sc, pool, numRegs*maxRow, maxRow)
+		}
+		st.task = natTask{k: k, b: b, pool: pool, tileRows: tileRows, maxRow: maxRow}
+		wp.Run(&st.task, ntiles, t, steal, progress)
+		return
+	}
 	if workers <= 1 {
-		regs := make([]float64, numRegs*maxRow)
-		ex := k.newExec(pool, regs, maxRow)
-		for _, tl := range tiles {
-			runTile(tl, regs, ex)
+		sc := st.ws[0]
+		k.prep(sc, pool, numRegs*maxRow, maxRow)
+		for tile := 0; tile < ntiles; tile++ {
+			lo, hi := runtime.TileBounds(b, tile, tileRows)
+			k.runTile(sc, b, lo, hi, maxRow, pool)
 			if progress != nil {
 				progress()
 			}
 		}
 		return
 	}
+	k.forkJoinRun(b, pool, workers, ntiles, tileRows, maxRow, nd, numRegs, progress)
+}
+
+// forkJoinRun is the legacy fork-join dispatch: fresh goroutines, a tile
+// channel and per-goroutine scratch on every call. Kept selectable (nil
+// Pool) as the overhead baseline the persistent pool is benchmarked
+// against. Split out of Run so its goroutine closure does not force heap
+// allocation of Run's locals on the (alloc-free) pool and serial paths.
+func (k *Kernel) forkJoinRun(b runtime.Box, pool []float64, workers, ntiles, tileRows, maxRow, nd, numRegs int, progress func()) {
 	var wg sync.WaitGroup
-	work := make(chan tile, len(tiles))
-	for _, tl := range tiles {
-		work <- tl
+	work := make(chan int, ntiles)
+	for i := 0; i < ntiles; i++ {
+		work <- i
 	}
 	close(work)
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func(isFirst bool) {
 			defer wg.Done()
-			regs := make([]float64, numRegs*maxRow)
-			ex := k.newExec(pool, regs, maxRow)
-			for tl := range work {
-				runTile(tl, regs, ex)
+			sc := &natScratch{
+				idx:    make([]int, nd),
+				bases:  make([]int, len(k.bk.Fields)),
+				regs:   make([]float64, numRegs*maxRow),
+				stride: maxRow,
+			}
+			sc.ex = k.newExec(pool, sc.regs, maxRow)
+			for tile := range work {
+				lo, hi := runtime.TileBounds(b, tile, tileRows)
+				k.runTile(sc, b, lo, hi, maxRow, pool)
+				// One worker doubles as the progress engine, mirroring
+				// the sacrificed OpenMP thread of the paper's full mode.
 				if isFirst && progress != nil {
 					progress()
 				}

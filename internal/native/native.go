@@ -47,6 +47,10 @@ type Kernel struct {
 	// fusedInstrs is the per-point dispatch count after fusion: one per
 	// chain link plus one per fallback VM instruction.
 	fusedInstrs int
+	// st is the kernel's private reusable dispatch state (slot tables,
+	// per-worker scratch and cached execs). Allocated at Wrap time and
+	// replaced on Rebind, never shared between kernel copies.
+	st *natState
 }
 
 // segment is one executable region: either a fused link chain or a VM
@@ -90,6 +94,7 @@ func Wrap(bk *bytecode.Kernel) *Kernel {
 		}
 	}
 	k.buildTemplate(segs)
+	k.st = newNatState(k)
 	return k
 }
 
@@ -133,5 +138,8 @@ func (k *Kernel) Rebind(fields map[string]*field.Function) (*Kernel, error) {
 	}
 	nk := *k
 	nk.bk = bk
+	// A private dispatch state keeps the copy concurrency-safe against the
+	// original (the opcache runs rebound kernels across shots in parallel).
+	nk.st = newNatState(&nk)
 	return &nk, nil
 }

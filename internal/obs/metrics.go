@@ -78,6 +78,12 @@ type RankMetrics struct {
 	// ShotWorkers is the shot scheduler's worker-pool size gauge (the
 	// total reports the maximum over ranks, not a sum).
 	ShotWorkers int64 `json:"shot_workers"`
+	// PoolSyncNs is the worker pool's cumulative dispatch join wait.
+	PoolSyncNs int64 `json:"pool_sync_ns"`
+	// PoolIdleNs is the pool workers' cumulative in-dispatch idle time.
+	PoolIdleNs int64 `json:"pool_idle_ns"`
+	// StealCount counts pool tiles executed away from their static owner.
+	StealCount int64 `json:"steal_count"`
 }
 
 // Metrics is a full snapshot of the metrics registry — the "obs" block
@@ -115,6 +121,9 @@ func (r *recorder) snapshot(rank int) RankMetrics {
 		OpCacheMisses:  r.ctr[CtrOpCacheMisses].Load(),
 		ShotsDone:      r.ctr[CtrShotsDone].Load(),
 		ShotWorkers:    r.ctr[CtrShotWorkers].Load(),
+		PoolSyncNs:     r.ctr[CtrPoolSyncNs].Load(),
+		PoolIdleNs:     r.ctr[CtrPoolIdleNs].Load(),
+		StealCount:     r.ctr[CtrStealCount].Load(),
 	}
 }
 
@@ -140,6 +149,9 @@ func (m *RankMetrics) accumulate(r RankMetrics) {
 	if r.ShotWorkers > m.ShotWorkers {
 		m.ShotWorkers = r.ShotWorkers
 	}
+	m.PoolSyncNs += r.PoolSyncNs
+	m.PoolIdleNs += r.PoolIdleNs
+	m.StealCount += r.StealCount
 }
 
 // Snapshot collects the current state of every rank's counters plus the

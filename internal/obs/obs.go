@@ -73,6 +73,10 @@ const (
 	// PhaseShot is one whole FWI shot dispatched by the shot scheduler
 	// (a checkpointed forward + adjoint gradient in its own world).
 	PhaseShot
+	// PhaseWorker is one pool worker's share of one dispatched kernel
+	// sweep, recorded on that worker's dedicated trace stream
+	// (WorkerStream) so the trace shows the team's load balance.
+	PhaseWorker
 
 	numPhases
 )
@@ -80,6 +84,7 @@ const (
 var phaseNames = [numPhases]string{
 	"compute", "shell", "exchange", "pack", "send", "wait", "unpack",
 	"ckpt_save", "ckpt_restore", "autotune_trial", "warmup", "shot",
+	"worker",
 }
 
 // String returns the phase's trace-event name.
@@ -137,6 +142,16 @@ const (
 	// CtrShotWorkers is a gauge (set, not added): the shot scheduler's
 	// effective concurrent worker-pool size.
 	CtrShotWorkers
+	// CtrPoolSyncNs accumulates the worker pool's dispatch sync cost: the
+	// caller's join-barrier wait, summed over dispatches.
+	CtrPoolSyncNs
+	// CtrPoolIdleNs accumulates spawned pool workers' idle time inside
+	// dispatches (join time minus each worker's finish time) — the load
+	// imbalance the static partition leaves on the table.
+	CtrPoolIdleNs
+	// CtrStealCount counts tiles executed by a worker other than their
+	// static block-cyclic owner (bounded stealing on shell sweeps).
+	CtrStealCount
 
 	numCtrs
 )
@@ -144,6 +159,15 @@ const (
 // MaxRanks bounds the per-rank recorder table; ranks beyond it share the
 // last slot (in-process worlds here are far smaller).
 const MaxRanks = 64
+
+// workerStreamBase offsets the per-pool-worker trace streams: streams
+// 1..workerStreamBase-1 are halo exchanger streams, streams >= the base
+// are pool workers (WriteTrace names them accordingly).
+const workerStreamBase = 1000
+
+// WorkerStream returns the trace stream id of pool worker w — a
+// dedicated per-worker track within the rank's trace process.
+func WorkerStream(w int) int { return workerStreamBase + w }
 
 // ringCap is the per-rank span capacity (a power of two); older spans are
 // overwritten once a rank records more.

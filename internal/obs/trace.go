@@ -60,7 +60,8 @@ func WriteTraceFile(path string) error {
 // object format (load the file in Perfetto or chrome://tracing). Each
 // rank becomes one process (pid = rank) and each stream one thread
 // within it (tid 0 = the operator time loop, tid s+1 = exchanger stream
-// s), so the viewer lays the run out as one track per rank x stream.
+// s, tid WorkerStream(w) = pool worker w), so the viewer lays the run
+// out as one track per rank x stream.
 // Timestamps are microseconds since the process-wide recording epoch.
 func WriteTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -92,7 +93,10 @@ func WriteTrace(w io.Writer) error {
 			if !seen[sp.stream] {
 				seen[sp.stream] = true
 				tname := "timeloop"
-				if sp.stream > 0 {
+				switch {
+				case sp.stream >= workerStreamBase:
+					tname = fmt.Sprintf("worker %d", sp.stream-workerStreamBase)
+				case sp.stream > 0:
 					tname = fmt.Sprintf("halo stream %d", sp.stream-1)
 				}
 				emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"%s"}}`,

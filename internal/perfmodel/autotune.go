@@ -116,6 +116,12 @@ type Host struct {
 	// WorkerSpawn is the per-worker cost of starting the pool for one
 	// kernel launch (goroutine creation + channel setup).
 	WorkerSpawn float64
+	// PoolSync is the fixed fork-join/sync cost of one multi-worker kernel
+	// launch: publish the work, wake the team, join at the barrier. The
+	// default is an order-of-magnitude figure; the operator overrides it
+	// with the measured dispatch cost of its persistent pool
+	// (runtime.Pool.SyncCost) before planning.
+	PoolSync float64
 	// TileOverhead is the per-tile scheduling cost (channel receive,
 	// odometer setup).
 	TileOverhead float64
@@ -144,6 +150,7 @@ func DefaultHost() Host {
 		SecondsPerInstr:   1.0e-9,
 		MemBandwidth:      8e9,
 		WorkerSpawn:       3e-6,
+		PoolSync:          2.0e-6,
 		TileOverhead:      2e-7,
 		MsgLatency:        5e-6,
 		ExchangeBandwidth: 4e9,
@@ -275,10 +282,8 @@ func (h Host) Predict(p OpProfile, c ExecConfig) float64 {
 		w = ntiles
 	}
 
-	perPoint := float64(p.InstrsPerPoint) * h.SecondsPerInstr * EngineInstrFactor(p.Engine)
-	if mem := 4 * float64(p.StreamsPerPoint) / h.MemBandwidth; mem > perPoint {
-		perPoint = mem
-	}
+	instrPP := float64(p.InstrsPerPoint) * h.SecondsPerInstr * EngineInstrFactor(p.Engine)
+	memPP := 4 * float64(p.StreamsPerPoint) / h.MemBandwidth
 	// The slowest worker drains ceil(ntiles/w) tiles; tile quantisation is
 	// what makes tiny tiles balance better and huge tiles serialise.
 	tilesWorker := (ntiles + w - 1) / w
@@ -286,10 +291,22 @@ func (h Host) Predict(p OpProfile, c ExecConfig) float64 {
 	if rowsWorker > rows {
 		rowsWorker = rows
 	}
-	compute := pts * float64(rowsWorker) / float64(rows) * perPoint
+	// Parallel efficiency is a two-bound story: the instruction leg scales
+	// with the slowest worker's share of the rows, but the memory-traffic
+	// leg does not — DRAM bandwidth is shared across the team, so a
+	// bandwidth-bound profile gains nothing from more workers and the model
+	// correctly refuses to charge sync overhead for phantom speedup.
+	instrTime := pts * float64(rowsWorker) / float64(rows) * instrPP
+	memTime := pts * memPP
+	compute := instrTime
+	if memTime > compute {
+		compute = memTime
+	}
 	compute += float64(tilesWorker) * h.TileOverhead
-	if c.Workers > 1 {
-		compute += float64(c.Workers) * h.WorkerSpawn
+	if w > 1 {
+		// One pool dispatch (publish + wake + join) plus the per-worker
+		// coordination cost per kernel launch.
+		compute += h.PoolSync + float64(w)*h.WorkerSpawn
 	}
 	if p.Ranks <= 1 || c.Mode == halo.ModeNone {
 		return compute

@@ -3,6 +3,7 @@ package perfmodel
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"devigo/internal/halo"
@@ -309,5 +310,53 @@ func TestEngineInstrFactorVocabulary(t *testing.T) {
 	}
 	if !(EngineInstrFactor("interpreter") > 1.0) {
 		t.Error("interpreter factor should be > 1")
+	}
+}
+
+// The pool-sync term is a fixed per-launch cost: charged exactly once for
+// any multi-worker configuration, never for serial ones. This is the knob
+// the operator overrides with the measured dispatch cost of its
+// persistent worker pool.
+func TestPredictPoolSyncChargedOncePerLaunch(t *testing.T) {
+	h := DefaultHost()
+	p := serialProfile(1024)
+	par := ExecConfig{Workers: 4, TileRows: 8}
+	ser := ExecConfig{Workers: 1, TileRows: 8}
+	basePar, baseSer := h.Predict(p, par), h.Predict(p, ser)
+	h.PoolSync += 0.5
+	if got := h.Predict(p, par) - basePar; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PoolSync delta charged %g times, want exactly once", got/0.5)
+	}
+	if got := h.Predict(p, ser); got != baseSer {
+		t.Errorf("serial prediction moved with PoolSync: %g -> %g", baseSer, got)
+	}
+}
+
+// A prohibitive sync cost must push even large grids back to serial: the
+// planner believes the measured dispatch cost, whatever it is.
+func TestPlanProhibitivePoolSyncForcesSerial(t *testing.T) {
+	h := DefaultHost()
+	h.PoolSync = 1.0 // one full second per dispatch
+	best := Plan(h, serialProfile(1024))[0]
+	if best.Workers != 1 {
+		t.Errorf("with PoolSync=1s the plan should be serial, got %v", best)
+	}
+}
+
+// Bandwidth-bound profiles gain nothing from more workers: the memory leg
+// of the roofline is shared across the team, so extra workers only add
+// sync cost and the plan must stay serial.
+func TestPredictSharedBandwidthCapsScaling(t *testing.T) {
+	h := DefaultHost()
+	p := serialProfile(1024)
+	p.InstrsPerPoint = 1
+	p.StreamsPerPoint = 4000
+	w1 := h.Predict(p, ExecConfig{Workers: 1, TileRows: 8})
+	w8 := h.Predict(p, ExecConfig{Workers: 8, TileRows: 8})
+	if w8 <= w1 {
+		t.Errorf("bandwidth-bound: 8 workers predicted faster (%g) than serial (%g)", w8, w1)
+	}
+	if best := Plan(h, p)[0]; best.Workers != 1 {
+		t.Errorf("bandwidth-bound plan should be serial, got %v", best)
 	}
 }

@@ -35,6 +35,7 @@ type fuzzCase struct {
 	k        int
 	workers  int
 	tileRows int
+	forkJoin bool
 }
 
 // decodeFuzzCase maps arbitrary bytes onto a valid-looking configuration
@@ -57,8 +58,9 @@ func decodeFuzzCase(data []byte) fuzzCase {
 		nt:       4 + b(4)%10,
 		mode:     []halo.Mode{halo.ModeBasic, halo.ModeDiagonal, halo.ModeFull}[b(5)%3],
 		k:        1 + b(6)%4,
-		workers:  1 + b(7)%3,
+		workers:  1 + b(7)%7,
 		tileRows: 1 + b(8)%5,
+		forkJoin: b(9)%2 == 1,
 	}
 }
 
@@ -69,7 +71,10 @@ func fuzzSerial(fc fuzzCase, engine string) (*Model, *RunResult, error) {
 		return nil, nil, err
 	}
 	res, err := Run(m, nil, RunConfig{NT: fc.nt, NReceivers: 4, Engine: engine,
-		Workers: fc.workers, TileRows: fc.tileRows})
+		Workers: fc.workers, TileRows: fc.tileRows, ForkJoin: fc.forkJoin})
+	if res != nil {
+		res.Op.Close()
+	}
 	return m, res, err
 }
 
@@ -103,11 +108,12 @@ func fuzzDMP(t *testing.T, fc fuzzCase, engine string) (float64, [][]float64, er
 		}
 		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: fc.mode}
 		res, err := Run(m, ctx, RunConfig{NT: fc.nt, NReceivers: 4, Engine: engine,
-			Workers: fc.workers, TileRows: fc.tileRows, TimeTile: fc.k})
+			Workers: fc.workers, TileRows: fc.tileRows, TimeTile: fc.k, ForkJoin: fc.forkJoin})
 		if err != nil {
 			runErr = err
 			return
 		}
+		res.Op.Close()
 		if c.Rank() == 0 {
 			norm = res.Norm
 			traces = res.Receivers
@@ -128,6 +134,11 @@ func FuzzEnginesAgree(f *testing.F) {
 	f.Add([]byte{1, 9, 2, 0, 5, 2, 3, 0, 0}) // elastic, full overlap, k=4
 	f.Add([]byte{2, 5, 5, 1, 2, 1, 1, 2, 1}) // tti, diagonal, k=2
 	f.Add([]byte{3, 0, 3, 2, 7, 0, 0, 1, 3}) // viscoelastic, basic, so-8
+	// Worker-pool tier: workers > 1 with time tiling and the native
+	// engine's bulk-row chains, pool and fork-join dispatch both pinned.
+	f.Add([]byte{0, 3, 6, 1, 5, 2, 3, 5, 2, 0}) // acoustic, full, k=4, 6-worker pool
+	f.Add([]byte{2, 7, 1, 2, 4, 2, 1, 6, 3, 1}) // tti, full, k=2, 7 workers fork-join
+	f.Add([]byte{1, 2, 8, 0, 6, 1, 3, 3, 1, 0}) // elastic, diag, k=4, 4-worker pool
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fc := decodeFuzzCase(data)

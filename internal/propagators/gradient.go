@@ -40,6 +40,9 @@ type GradientConfig struct {
 	// Workers / TileRows forward to the executor.
 	Workers  int
 	TileRows int
+	// ForkJoin forces the legacy per-call goroutine dispatch instead of
+	// the persistent worker pool (core.Options.ForkJoin).
+	ForkJoin bool
 	// TimeTile requests the halo-exchange interval k for the forward and
 	// adjoint operators; 0 consults DEVIGO_TIME_TILE.
 	TimeTile int
@@ -125,6 +128,7 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 		ReceiverCoords: gc.ReceiverCoords,
 		Checkpoint:     store,
 		Workers:        gc.Workers, TileRows: gc.TileRows,
+		ForkJoin: gc.ForkJoin,
 		TimeTile: gc.TimeTile,
 		Engine:   gc.Engine,
 		Autotune: gc.Autotune,
@@ -134,6 +138,10 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 	if err != nil {
 		return nil, err
 	}
+	// The gradient owns all three operators for the whole computation;
+	// release their persistent worker teams on every exit path (shot
+	// surveys would otherwise accumulate parked goroutines per shot).
+	defer fres.Op.Close()
 	res := &GradientResult{NT: nt, DT: fres.DT, Receivers: fres.Receivers,
 		ForwardPerf: fres.Perf, ForwardConfig: fres.Op.Config()}
 
@@ -166,15 +174,17 @@ func RunGradient(m *Model, ctx *core.Context, gc GradientConfig) (*GradientResul
 	}
 	adjOp, err := core.NewOperator(adj.Eqs, adj.Fields, adj.Grid, ctx,
 		&core.Options{Name: adj.Name, Workers: gc.Workers, TileRows: gc.TileRows,
-			TimeTile: gc.TimeTile, Engine: gc.Engine, Cache: gc.Cache})
+			ForkJoin: gc.ForkJoin, TimeTile: gc.TimeTile, Engine: gc.Engine, Cache: gc.Cache})
 	if err != nil {
 		return nil, err
 	}
+	defer adjOp.Close()
 	v := adj.Fields["v"]
 	grad, imgOp, err := imagingOperator(m, adj, ctx, &gc)
 	if err != nil {
 		return nil, err
 	}
+	defer imgOp.Close()
 	srcs, err := buildSources(m, &rc, fres.DT, nt)
 	if err != nil {
 		return nil, err
@@ -297,7 +307,7 @@ func imagingOperator(fwd, adj *Model, ctx *core.Context, gc *GradientConfig) (*f
 	}
 	op, err := core.NewOperator([]symbolic.Eq{eq}, fields, fwd.Grid, ctx,
 		&core.Options{Name: "imaging", Workers: gc.Workers, TileRows: gc.TileRows,
-			Engine: gc.Engine, Cache: gc.Cache})
+			ForkJoin: gc.ForkJoin, Engine: gc.Engine, Cache: gc.Cache})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,10 @@ package propagators
 import (
 	"fmt"
 	"math"
+	"os"
+	goruntime "runtime"
+	"strconv"
+	"strings"
 
 	"devigo/internal/core"
 	"devigo/internal/field"
@@ -148,9 +152,33 @@ func RunShots(model string, cfg Config, sc ShotsConfig) (*ShotsResult, error) {
 		total *= s
 	}
 
+	// Guard against oversubscription: shots in flight × ranks per shot ×
+	// per-rank compute workers was silently unbounded. The shot and rank
+	// tiers honour explicit requests (and results are bit-exact for any
+	// worker count at every tier), so the clamp lands on the per-rank
+	// compute team: it shrinks until the product fits the host's cores,
+	// with the decision logged. computeWorkers stays 0 (operator default)
+	// when no clamp is needed.
+	computeWorkers := resolveComputeWorkers(sc.Gradient.Workers)
+	if computeWorkers > 1 {
+		lanes := workers
+		if ranks > 1 {
+			lanes *= ranks
+		}
+		if clamped := shotsched.ClampWorkers(computeWorkers, lanes, goruntime.NumCPU()); clamped != computeWorkers {
+			fmt.Fprintf(os.Stderr,
+				"devigo: clamping per-rank compute workers %d -> %d (%d shots in flight x %d ranks on %d cores)\n",
+				computeWorkers, clamped, workers, max(ranks, 1), goruntime.NumCPU())
+			computeWorkers = clamped
+		}
+	}
+
 	fn := func(shot int) (*shotOutcome, error) {
 		gc := sc.Gradient
 		gc.Cache = cache
+		if computeWorkers > 0 {
+			gc.Workers = computeWorkers
+		}
 		s := sc.Shots[shot]
 		if s.SourceCoords != nil {
 			gc.SourceCoords = s.SourceCoords
@@ -259,6 +287,23 @@ func RunShots(model string, cfg Config, sc ShotsConfig) (*ShotsResult, error) {
 		res.CacheStats = cache.Stats()
 	}
 	return res, nil
+}
+
+// resolveComputeWorkers mirrors the operator's per-rank worker
+// resolution for the oversubscription guard: explicit
+// GradientConfig.Workers, then $DEVIGO_WORKERS, then 0 (operator
+// default). A malformed environment value counts as 0 here and is
+// rejected with a proper error when the operator is built.
+func resolveComputeWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if s := strings.TrimSpace(os.Getenv(core.WorkersEnvVar)); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 0
 }
 
 // scatterOwned copies a field's owned DOMAIN at time buffer t into the

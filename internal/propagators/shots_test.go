@@ -338,3 +338,54 @@ func TestRunShotsRaceNative(t *testing.T) {
 		}
 	}
 }
+
+func TestResolveComputeWorkers(t *testing.T) {
+	t.Setenv(core.WorkersEnvVar, "")
+	if got := resolveComputeWorkers(3); got != 3 {
+		t.Errorf("explicit compute workers = %d, want 3", got)
+	}
+	if got := resolveComputeWorkers(0); got != 0 {
+		t.Errorf("unset compute workers = %d, want 0 (operator default)", got)
+	}
+	t.Setenv(core.WorkersEnvVar, "5")
+	if got := resolveComputeWorkers(0); got != 5 {
+		t.Errorf("env compute workers = %d, want 5", got)
+	}
+	if got := resolveComputeWorkers(2); got != 2 {
+		t.Errorf("explicit over env = %d, want 2", got)
+	}
+	// Malformed env is ignored here; the operator build rejects it with a
+	// proper configuration error.
+	t.Setenv(core.WorkersEnvVar, "lots")
+	if got := resolveComputeWorkers(0); got != 0 {
+		t.Errorf("bad env compute workers = %d, want 0", got)
+	}
+}
+
+// TestRunShotsOversubscriptionClamp: a survey requesting far more
+// shots-in-flight x compute-workers lanes than the host has cores must
+// complete with the per-rank team clamped — and, because results are
+// worker-count invariant, still reproduce the sequential stack bit for
+// bit.
+func TestRunShotsOversubscriptionClamp(t *testing.T) {
+	cfg := surveyConfig()
+	gc := surveyGradient()
+	want, _ := sequentialStack(t, cfg, gc, surveyShots())
+	over := gc
+	over.Workers = 64 // 2 shots x 64 workers can't fit any host
+	res, err := RunShots("acoustic", cfg, ShotsConfig{
+		Gradient: over, Shots: surveyShots(), Workers: 2, Cache: opcache.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("clamp must land on compute workers, not shots in flight: pool = %d", res.Workers)
+	}
+	for i := range want {
+		if res.Gradient[i] != want[i] {
+			t.Fatalf("clamped stack diverges from sequential loop at %d: %v vs %v",
+				i, res.Gradient[i], want[i])
+		}
+	}
+}

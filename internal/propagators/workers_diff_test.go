@@ -1,0 +1,150 @@
+package propagators
+
+import (
+	"testing"
+
+	"devigo/internal/core"
+	"devigo/internal/grid"
+	"devigo/internal/halo"
+	"devigo/internal/mpi"
+)
+
+// The worker-count-invariance suite pins the shared-memory tier's
+// correctness contract: tiles are disjoint row bands with a fixed
+// row-major point order inside each, so the wavefields must be
+// *bit-identical* at every worker count, on every engine, for both the
+// persistent pool and the legacy fork-join dispatch, with and without
+// time tiling. Equality is exact (==), not tolerance-based.
+
+// runWorkers executes nt steps of a freshly built model with the given
+// engine/worker configuration and closes the operator's pool.
+func runWorkers(t *testing.T, engine string, workers, k int, forkJoin bool) (*Model, *RunResult) {
+	t.Helper()
+	m, err := Build("acoustic", serialCfg([]int{24, 24}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, nil, RunConfig{NT: 20, NReceivers: 4, Engine: engine,
+		Workers: workers, TileRows: 3, TimeTile: k, ForkJoin: forkJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Op.Close()
+	return m, res
+}
+
+func TestWorkerCountInvariance_Serial(t *testing.T) {
+	engines := []string{core.EngineBytecode, core.EngineInterpreter, core.EngineNative}
+	for _, engine := range engines {
+		for _, k := range []int{1, 4} {
+			t.Run(engine+"/k"+string(rune('0'+k)), func(t *testing.T) {
+				mRef, resRef := runWorkers(t, engine, 1, k, false)
+				for _, w := range []int{2, 4, 7} {
+					mW, resW := runWorkers(t, engine, w, k, false)
+					if resRef.Norm != resW.Norm {
+						t.Errorf("workers=%d: norms diverge: %v vs %v", w, resRef.Norm, resW.Norm)
+					}
+					for it := range resRef.Receivers {
+						for r := range resRef.Receivers[it] {
+							if resRef.Receivers[it][r] != resW.Receivers[it][r] {
+								t.Fatalf("workers=%d: trace (%d,%d) diverges", w, it, r)
+							}
+						}
+					}
+					compareModels(t, "workers", engine, mRef, mW)
+				}
+			})
+		}
+	}
+}
+
+func TestPoolMatchesForkJoinBitExact(t *testing.T) {
+	// The two dispatch mechanisms execute the same tiles in the same
+	// per-tile order; only the scheduling differs, so results match the
+	// serial baseline bit for bit on both.
+	for _, engine := range []string{core.EngineBytecode, core.EngineNative} {
+		mRef, resRef := runWorkers(t, engine, 1, 1, false)
+		mPool, resPool := runWorkers(t, engine, 4, 1, false)
+		mFJ, resFJ := runWorkers(t, engine, 4, 1, true)
+		if resRef.Norm != resPool.Norm || resRef.Norm != resFJ.Norm {
+			t.Errorf("%s: norms diverge: serial %v, pool %v, fork-join %v",
+				engine, resRef.Norm, resPool.Norm, resFJ.Norm)
+		}
+		compareModels(t, "pool", engine, mRef, mPool)
+		compareModels(t, "forkjoin", engine, mRef, mFJ)
+	}
+}
+
+func TestWorkerCountInvariance_DMP(t *testing.T) {
+	// Workers-within-rank composed with ranks: a 4-rank full-overlap run
+	// (worker 0 doubling as the progress engine) must stay bit-identical
+	// across worker counts at both exchange intervals.
+	for _, k := range []int{1, 4} {
+		var refNorm float64
+		var refTraces [][]float64
+		for i, w := range []int{1, 7} {
+			norm, traces := runWorkersDMP(t, core.EngineNative, w, k)
+			if i == 0 {
+				refNorm, refTraces = norm, traces
+				continue
+			}
+			if norm != refNorm {
+				t.Errorf("k=%d workers=%d: 4-rank norms diverge: %v vs %v", k, w, norm, refNorm)
+			}
+			for it := range refTraces {
+				for r := range refTraces[it] {
+					if refTraces[it][r] != traces[it][r] {
+						t.Fatalf("k=%d workers=%d: trace (%d,%d) diverges", k, w, it, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runWorkersDMP mirrors runEngineDMP with a configurable per-rank worker
+// count (each of the 4 ranks spawns its own persistent team).
+func runWorkersDMP(t *testing.T, engine string, workers, k int) (float64, [][]float64) {
+	t.Helper()
+	shape := []int{24, 24}
+	w := mpi.NewWorld(4)
+	var norm float64
+	var traces [][]float64
+	err := w.Run(func(c *mpi.Comm) {
+		g := grid.MustNew(shape, nil)
+		dec, err := grid.NewDecomposition(g, c.Size(), []int{2, 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cart, err := mpi.CartCreate(c, dec.Topology, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cfg := serialCfg(shape, 4)
+		cfg.Decomp = dec
+		cfg.Rank = c.Rank()
+		m, err := Build("acoustic", cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ctx := &core.Context{Comm: c, Cart: cart, Decomp: dec, Mode: halo.ModeFull}
+		res, err := Run(m, ctx, RunConfig{NT: 16, NReceivers: 4, Engine: engine,
+			Workers: workers, TileRows: 3, TimeTile: k})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res.Op.Close()
+		if c.Rank() == 0 {
+			norm = res.Norm
+			traces = res.Receivers
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, traces
+}

@@ -70,6 +70,10 @@ type Kernel struct {
 	SymNames []string
 	// Radius is the stencil radius per dimension (halo requirement).
 	Radius []int
+	// st is the kernel's private reusable dispatch state (slot tables,
+	// per-worker scratch). Allocated at compile time and replaced on
+	// Rebind, never shared between kernel copies.
+	st *runState
 }
 
 // CompileCluster resolves a cluster against concrete field storage.
@@ -238,6 +242,7 @@ func CompileNest(assigns []symbolic.Assignment, eqs []symbolic.Eq, radius []int,
 			}
 		}
 	}
+	k.st = newRunState(k)
 	return k, nil
 }
 

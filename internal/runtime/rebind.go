@@ -35,5 +35,8 @@ func (k *Kernel) Rebind(fields map[string]*field.Function) (*Kernel, error) {
 			}
 		}
 	}
+	// A private dispatch state keeps the copy concurrency-safe against the
+	// original (the opcache runs rebound kernels across shots in parallel).
+	nk.st = newRunState(&nk)
 	return &nk, nil
 }

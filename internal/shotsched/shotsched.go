@@ -71,6 +71,29 @@ func ResolveWorkers(requested int) (int, error) {
 	return n, nil
 }
 
+// ClampWorkers bounds the scheduler pool so the product of concurrency
+// tiers — shots in flight × compute lanes per shot (ranks × per-rank
+// workers) — never oversubscribes the host: shotWorkers is reduced until
+// shotWorkers*lanesPerShot <= hostCores, but never below 1 (a single
+// over-wide shot is the user's explicit choice; silently serialising it
+// would be worse). Callers log the decision when the clamp engages.
+func ClampWorkers(shotWorkers, lanesPerShot, hostCores int) int {
+	if shotWorkers < 1 {
+		shotWorkers = 1
+	}
+	if lanesPerShot < 1 {
+		lanesPerShot = 1
+	}
+	if hostCores < 1 || shotWorkers*lanesPerShot <= hostCores {
+		return shotWorkers
+	}
+	c := hostCores / lanesPerShot
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // errSkipped marks shots abandoned after another shot failed; it never
 // escapes Run.
 var errSkipped = fmt.Errorf("shotsched: skipped after earlier failure")

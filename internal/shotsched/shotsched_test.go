@@ -151,3 +151,40 @@ func TestZeroAndNilCases(t *testing.T) {
 		t.Fatal("negative n accepted")
 	}
 }
+
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		name                       string
+		workers, lanes, cores, out int
+	}{
+		{"fits exactly", 4, 2, 8, 4},
+		{"fits with slack", 2, 2, 16, 2},
+		{"halved", 8, 2, 8, 4},
+		{"floor of division", 5, 3, 8, 2},
+		{"never below one", 4, 16, 8, 1},
+		{"single core", 3, 4, 1, 1},
+		{"unknown cores is a no-op", 7, 9, 0, 7},
+		{"degenerate inputs normalised", 0, 0, 4, 1},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.workers, c.lanes, c.cores); got != c.out {
+			t.Errorf("%s: ClampWorkers(%d, %d, %d) = %d, want %d",
+				c.name, c.workers, c.lanes, c.cores, got, c.out)
+		}
+	}
+	// The clamp never produces an oversubscribing product when it can
+	// avoid one.
+	for w := 1; w <= 8; w++ {
+		for l := 1; l <= 8; l++ {
+			for cpu := 1; cpu <= 16; cpu++ {
+				got := ClampWorkers(w, l, cpu)
+				if got > 1 && got*l > cpu {
+					t.Fatalf("ClampWorkers(%d, %d, %d) = %d still oversubscribes", w, l, cpu, got)
+				}
+				if got < 1 {
+					t.Fatalf("ClampWorkers(%d, %d, %d) = %d below floor", w, l, cpu, got)
+				}
+			}
+		}
+	}
+}
